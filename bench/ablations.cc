@@ -1,0 +1,139 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1  Frontier-only checkpointing vs checkpointing every generated RDD
+//       (fixed-interval policy marks RDDs indiscriminately): the frontier cut
+//       writes far fewer bytes for the same protection.
+//   A2  Shuffle-boost on vs off: recovery time from a mid-run revocation of
+//       half the cluster (PageRank) with and without the tau/M boost.
+//   A3  Market-diversity sweep (Eq. 3/4): expected runtime-variance of an
+//       m-market mix for m in {1..8} — the interactive policy's motivation.
+//   A4  Fixed checkpoint interval sweep vs the adaptive tau_opt: expected
+//       runtime factor (Monte-Carlo) at several intervals brackets Daly.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/common/stats.h"
+#include "src/sim/monte_carlo.h"
+#include "src/workloads/pagerank.h"
+
+namespace flint {
+namespace {
+
+PageRankParams PrParams() {
+  PageRankParams p;
+  p.num_vertices = 40000;
+  p.edges_per_vertex = 15;
+  p.partitions = 20;
+  p.iterations = 4;
+  return p;
+}
+
+struct AblationRun {
+  double seconds = 0.0;
+  uint64_t ckpt_writes = 0;
+  uint64_t ckpt_bytes = 0;
+};
+
+AblationRun RunPr(CheckpointPolicyKind policy, bool shuffle_boost, int failures) {
+  bench::BenchClusterOptions options;
+  options.num_nodes = 10;
+  options.policy = policy;
+  options.mttf_hours = 5.0;  // volatile regime: checkpoints matter
+  options.shuffle_boost = shuffle_boost;
+  // Near-indiscriminate marking for the fixed-interval ablation: the signal
+  // fires so often that essentially every generated RDD is checkpointed.
+  options.fixed_interval_seconds = 0.05;
+  options.origin_bandwidth = 24.0 * kMiB;
+  bench::BenchCluster cluster(options);
+  std::thread injector;
+  AblationRun run;
+  Status status = Status::Ok();
+  run.seconds = bench::TimeSeconds([&] {
+    if (failures > 0) {
+      injector = cluster.InjectFailureAfter(0.8, failures, /*replace=*/true);
+    }
+    status = RunPageRank(cluster.ctx(), PrParams()).status();
+  });
+  if (injector.joinable()) {
+    injector.join();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "pagerank failed: %s\n", status.ToString().c_str());
+  }
+  run.ckpt_writes = cluster.ctx().counters().checkpoint_writes.load();
+  run.ckpt_bytes = cluster.ctx().counters().checkpoint_bytes.load();
+  return run;
+}
+
+}  // namespace
+
+int RunAblations() {
+  bench::PrintHeader("A1: frontier-only vs indiscriminate checkpointing (PageRank, MTTF 5h)");
+  std::printf("%-28s %12s %14s %14s\n", "policy", "runtime (s)", "ckpt writes", "ckpt MiB");
+  bench::PrintRule(72);
+  {
+    const AblationRun frontier = RunPr(CheckpointPolicyKind::kFlint, true, 0);
+    const AblationRun fixed = RunPr(CheckpointPolicyKind::kFixedInterval, true, 0);
+    std::printf("%-28s %12.2f %14llu %14.1f\n", "Flint frontier (tau_opt)", frontier.seconds,
+                static_cast<unsigned long long>(frontier.ckpt_writes),
+                static_cast<double>(frontier.ckpt_bytes) / (1024.0 * 1024.0));
+    std::printf("%-28s %12.2f %14llu %14.1f\n", "fixed-interval marking", fixed.seconds,
+                static_cast<unsigned long long>(fixed.ckpt_writes),
+                static_cast<double>(fixed.ckpt_bytes) / (1024.0 * 1024.0));
+  }
+
+  bench::PrintHeader("A2: shuffle-boost on vs off under a 5-node revocation (PageRank)");
+  std::printf("%-28s %12s\n", "configuration", "runtime (s)");
+  bench::PrintRule(44);
+  {
+    const AblationRun boost_on = RunPr(CheckpointPolicyKind::kFlint, true, 5);
+    const AblationRun boost_off = RunPr(CheckpointPolicyKind::kFlint, false, 5);
+    std::printf("%-28s %12.2f\n", "boost on (tau/M for shuffles)", boost_on.seconds);
+    std::printf("%-28s %12.2f\n", "boost off (tau only)", boost_off.seconds);
+  }
+
+  bench::PrintHeader("A3: variance of runtime vs market diversity m (Eq. 3/4)");
+  std::printf("%6s %16s %18s %16s\n", "m", "agg MTTF (h)", "E[T]/T (Eq. 4)", "stddev/T");
+  bench::PrintRule(62);
+  {
+    const double per_market_mttf = 40.0;
+    const double delta = Minutes(2);
+    const double rd = Minutes(2);
+    for (int m = 1; m <= 8; m *= 2) {
+      std::vector<double> mttfs(static_cast<size_t>(m), per_market_mttf);
+      const double agg = AggregateMttf(mttfs);
+      const double factor = ExpectedRuntimeFactor(delta, rd, agg, m);
+      const double var = RuntimeVariancePerUnitTime(delta, rd, agg, m);
+      std::printf("%6d %16.1f %18.4f %16.4f\n", m, agg, factor, std::sqrt(var));
+    }
+  }
+
+  bench::PrintHeader("A4: fixed checkpoint intervals vs adaptive tau_opt (MC, MTTF 10h)");
+  std::printf("%-18s %16s\n", "interval", "E[T]/T (MC)");
+  bench::PrintRule(38);
+  {
+    CanonicalJob job;
+    const double mttf = 10.0;
+    const double tau_opt = OptimalCheckpointInterval(job.delta_hours(), mttf);
+    for (double scale : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      McConfig cfg;
+      cfg.mttf_hours = mttf;
+      cfg.forced_tau_hours = tau_opt * scale;
+      cfg.trials = 3000;
+      cfg.seed = 77;
+      const McResult r = SimulateCanonicalJob(job, cfg);
+      std::printf("  %6.2f x tau_opt %16.4f%s\n", scale, r.mean_factor,
+                  scale == 1.0 ? "   <-- Daly optimum" : "");
+    }
+  }
+  std::printf(
+      "\nShape checks: frontier writes fewer bytes than indiscriminate marking;\n"
+      "boost shortens recovery; variance falls with m; the factor is minimized\n"
+      "near 1.0 x tau_opt.\n");
+  return 0;
+}
+
+}  // namespace flint
+
+int main() { return flint::RunAblations(); }

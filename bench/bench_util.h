@@ -1,0 +1,146 @@
+// Shared infrastructure for the figure-reproduction benches: an engine-plane
+// cluster with realistic (scaled) latency modelling, scripted fault
+// injection with automatic replacement, and aligned table printing.
+//
+// Scaling: bench clusters model time at TimeConfig::seconds_per_model_hour =
+// 6.0, i.e. one model hour = 6 engine seconds. Workload runtimes of a few
+// seconds then correspond to jobs of tens of model minutes, MTTFs of 1-50
+// model hours to 6-300 engine seconds, and the 2-minute acquisition delay to
+// 200 ms — preserving the paper's ratios at laptop scale.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/checkpoint/ft_manager.h"
+#include "src/cluster/cluster_manager.h"
+#include "src/dfs/dfs.h"
+#include "src/common/log.h"
+#include "src/engine/context.h"
+
+namespace flint {
+namespace bench {
+
+struct BenchClusterOptions {
+  int num_nodes = 10;
+  uint64_t node_memory = 48 * kMiB;
+  int executor_threads = 1;
+  CheckpointPolicyKind policy = CheckpointPolicyKind::kNone;
+  double mttf_hours = 50.0;
+  double seconds_per_model_hour = 6.0;
+  EvictionMode eviction = EvictionMode::kDrop;
+  bool shuffle_boost = true;
+  // kFixedInterval ablation: signal period in engine seconds.
+  double fixed_interval_seconds = 2.0;
+  // Origin (S3-like) re-read bandwidth: recomputing a source partition pays
+  // bytes/bandwidth, the dominant term in the paper's Fig 9 recompute path.
+  double origin_bandwidth = 48.0 * kMiB;
+  // Node-local disk bandwidth for spill traffic (Fig 3's memory-pressure
+  // regime is driven by this).
+  double disk_bandwidth = 400.0 * kMiB;
+  // Effective per-writer DFS (checkpoint store) write bandwidth; ten nodes
+  // share the cluster network, so this sits well below NIC line rate.
+  double dfs_write_bandwidth = 128.0 * kMiB;
+  double dfs_read_bandwidth = 512.0 * kMiB;
+};
+
+// A full engine-plane stack with latency modelling ON and a fault-tolerance
+// manager running the selected checkpoint policy. Create one per trial.
+class BenchCluster {
+ public:
+  explicit BenchCluster(BenchClusterOptions options) : options_(options) {
+    SetLogLevel(LogLevel::kError);  // keep harness tables clean
+    TimeConfig tc;
+    tc.seconds_per_model_hour = options.seconds_per_model_hour;
+    cluster_ = std::make_unique<ClusterManager>(tc);
+    DfsConfig dfs_config;
+    dfs_config.write_bandwidth_bytes_per_s = options.dfs_write_bandwidth;
+    dfs_config.read_bandwidth_bytes_per_s = options.dfs_read_bandwidth;
+    dfs_ = std::make_unique<Dfs>(dfs_config);
+    EngineConfig engine;
+    engine.block_defaults.eviction = options.eviction;
+    engine.block_defaults.disk_bandwidth_bytes_per_s = options.disk_bandwidth;
+    engine.origin_read_bandwidth_bytes_per_s = options.origin_bandwidth;
+    ctx_ = std::make_unique<FlintContext>(cluster_.get(), dfs_.get(), engine);
+    CheckpointConfig ckpt;
+    ckpt.policy = options.policy;
+    ckpt.mttf_hours = options.mttf_hours;
+    ckpt.time = tc;
+    ckpt.initial_delta_seconds = 0.05;
+    ckpt.shuffle_boost = options.shuffle_boost;
+    ckpt.fixed_interval_seconds = options.fixed_interval_seconds;
+    ft_ = std::make_unique<FaultToleranceManager>(ctx_.get(), ckpt);
+    for (int i = 0; i < options.num_nodes; ++i) {
+      cluster_->AddNode(0, options.node_memory, options.executor_threads);
+    }
+    ft_->Start();
+  }
+
+  ~BenchCluster() {
+    ft_->Stop();
+    cluster_->DrainEvents();
+  }
+
+  FlintContext& ctx() { return *ctx_; }
+  ClusterManager& cluster() { return *cluster_; }
+  FaultToleranceManager& ft() { return *ft_; }
+  Dfs& dfs() { return *dfs_; }
+
+  // Revokes `count` live nodes after `delay_seconds`, then (like the node
+  // manager) requests replacements that join after the acquisition delay.
+  // Returns the injector thread; join it before tearing down.
+  std::thread InjectFailureAfter(double delay_seconds, int count, bool replace = true) {
+    return std::thread([this, delay_seconds, count, replace] {
+      std::this_thread::sleep_for(WallDuration(delay_seconds));
+      std::vector<NodeId> victims;
+      auto live = cluster_->LiveNodes();
+      for (int i = 0; i < count && i < static_cast<int>(live.size()); ++i) {
+        victims.push_back(live[static_cast<size_t>(i)].node_id);
+      }
+      cluster_->Revoke(victims, /*with_warning=*/true);
+      if (replace) {
+        for (size_t i = 0; i < victims.size(); ++i) {
+          cluster_->AddNodeAfterDelay(0, options_.node_memory, options_.executor_threads);
+        }
+      }
+    });
+  }
+
+ private:
+  BenchClusterOptions options_;
+  std::unique_ptr<ClusterManager> cluster_;
+  std::unique_ptr<Dfs> dfs_;
+  std::unique_ptr<FlintContext> ctx_;
+  std::unique_ptr<FaultToleranceManager> ft_;
+};
+
+// Times a callable in seconds.
+template <typename F>
+double TimeSeconds(F&& fn) {
+  const auto t0 = WallClock::now();
+  fn();
+  return WallDuration(WallClock::now() - t0).count();
+}
+
+// --- output helpers ---
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(int width = 72) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace flint
+
+#endif  // BENCH_BENCH_UTIL_H_

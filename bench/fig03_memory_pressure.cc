@@ -1,0 +1,103 @@
+// Figure 3: simultaneous server revocations substantially increase running
+// time when Spark runs out of available memory. The paper runs PageRank at
+// 2/4/6 GB against a fixed cluster and revokes servers; when the surviving
+// nodes cannot hold the working set, swapping/recomputation blows up running
+// time (the 6 GB bar is literally "Out of Memory").
+//
+// Scaled reproduction: PageRank at three data scales against nodes with a
+// fixed memory budget; half the cluster is revoked mid-run WITHOUT
+// replacement, so the survivors must absorb the working set and spill.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/pagerank.h"
+
+namespace flint {
+namespace {
+
+PageRankParams ScaledParams(int scale) {
+  PageRankParams p;
+  p.num_vertices = 37000 * scale;
+  p.edges_per_vertex = 25;
+  p.partitions = 20;
+  p.iterations = 4;
+  p.seed = 3;
+  return p;
+}
+
+struct RunDiag {
+  uint64_t spill_bytes = 0;
+  uint64_t recomputed = 0;
+};
+
+double RunOnce(int scale, double inject_at_seconds, RunDiag* diag = nullptr) {
+  bench::BenchClusterOptions options;
+  options.num_nodes = 10;
+  options.node_memory = 3 * kMiB;  // tight: at 3x the survivors oversubscribe
+  options.eviction = EvictionMode::kSpill;
+  options.disk_bandwidth = 3.0 * kMiB;   // slow instance storage
+  options.origin_bandwidth = 200.0 * kMiB;  // S3-style re-read of source data
+  options.policy = CheckpointPolicyKind::kNone;
+  bench::BenchCluster cluster(options);
+  std::thread injector;
+  Result<PageRankResult> result = InvalidArgument("not run");
+  const double seconds = bench::TimeSeconds([&] {
+    if (inject_at_seconds >= 0.0) {
+      injector = cluster.InjectFailureAfter(inject_at_seconds, 5, /*replace=*/false);
+    }
+    result = RunPageRank(cluster.ctx(), ScaledParams(scale));
+  });
+  if (injector.joinable()) {
+    injector.join();
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "pagerank failed: %s\n", result.status().ToString().c_str());
+  }
+  if (diag != nullptr) {
+    for (const auto& node : cluster.ctx().LiveNodeStates()) {
+      diag->spill_bytes += node->blocks->spill_used();
+    }
+    diag->recomputed = cluster.ctx().counters().partitions_recomputed.load();
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int RunFig03() {
+  bench::PrintHeader("Fig 3: simultaneous revocations under memory pressure (PageRank)");
+  std::printf("%-12s %14s %16s %18s\n", "data scale", "baseline (s)", "after revoke (s)",
+              "increase (%)");
+  bench::PrintRule(64);
+  constexpr int kTrials = 2;
+  for (int scale : {1, 2, 4, 6}) {
+    double base = 0.0;
+    double revoked = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      base += RunOnce(scale, /*inject_at_seconds=*/-1.0);
+    }
+    base /= kTrials;
+    RunDiag diag;
+    for (int t = 0; t < kTrials; ++t) {
+      RunDiag d;
+      revoked += RunOnce(scale, /*inject_at_seconds=*/0.5 * base, &d);
+      diag.spill_bytes += d.spill_bytes / kTrials;
+      diag.recomputed += d.recomputed / kTrials;
+    }
+    revoked /= kTrials;
+    std::printf("%-12s %14.2f %16.2f %18.1f   [spill %.1f MiB, %llu recomputes]\n",
+                (std::to_string(scale) + "x").c_str(), base, revoked,
+                (revoked / base - 1.0) * 100.0,
+                static_cast<double>(diag.spill_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(diag.recomputed));
+  }
+  std::printf(
+      "\nPaper shape check: the increase grows steeply with data size as the\n"
+      "surviving nodes' memory is exhausted (the paper's 6GB case is OOM;\nour DFS-backed block manager degrades by spilling instead of crashing).\n");
+  return 0;
+}
+
+}  // namespace flint
+
+int main() { return flint::RunFig03(); }

@@ -1,0 +1,64 @@
+// Figure 10: cost-performance of the canonical job (Sec 5.5 simulation).
+//   (a) Increase in running time vs transient-server MTTF: past ~20 h the
+//       increase drops below 10%.
+//   (b) Flint vs unmodified Spark on spot instances: in the current (calm)
+//       spot market Flint adds <1% vs >5% for unmodified Spark; in a
+//       volatile GCE-like market (MTTF ~20 h) Flint adds <5% vs ~12%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/sim/monte_carlo.h"
+
+namespace flint {
+
+int RunFig10() {
+  CanonicalJob job;  // T = 5 h, delta ~= 2 min, rd = 2 min
+
+  bench::PrintHeader("Fig 10a: runtime increase vs MTTF (canonical job, Monte-Carlo + Eq. 1)");
+  std::printf("%10s %14s %14s %12s\n", "MTTF (h)", "MC incr (%)", "Eq.1 incr (%)", "p95 (%)");
+  bench::PrintRule(56);
+  for (double mttf : {2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 20.0, 25.0}) {
+    McConfig cfg;
+    cfg.mttf_hours = mttf;
+    cfg.trials = 4000;
+    cfg.seed = 10;
+    const McResult mc = SimulateCanonicalJob(job, cfg);
+    const double analytic =
+        ExpectedRuntimeFactor(job.delta_hours(), job.rd_hours, mttf, 1);
+    std::printf("%10.1f %14.2f %14.2f %12.2f\n", mttf, (mc.mean_factor - 1.0) * 100.0,
+                (analytic - 1.0) * 100.0, (mc.p95_factor - 1.0) * 100.0);
+  }
+  std::printf("Paper shape check: increase falls below 10%% once MTTF exceeds ~20 h.\n");
+
+  bench::PrintHeader("Fig 10b: Flint vs unmodified Spark on spot instances");
+  std::printf("%-28s %18s %18s\n", "market volatility", "Flint incr (%)", "unmodified (%)");
+  bench::PrintRule(68);
+  struct Regime {
+    const char* name;
+    double mttf;
+  };
+  for (const Regime& regime : {Regime{"current spot market (~150h)", 150.0},
+                               Regime{"high volatility / GCE (~20h)", 20.0}}) {
+    McConfig flint_cfg;
+    flint_cfg.mttf_hours = regime.mttf;
+    flint_cfg.checkpointing = true;
+    flint_cfg.trials = 4000;
+    flint_cfg.seed = 11;
+    McConfig spark_cfg = flint_cfg;
+    spark_cfg.checkpointing = false;
+    const McResult flint = SimulateCanonicalJob(job, flint_cfg);
+    const McResult spark = SimulateCanonicalJob(job, spark_cfg);
+    std::printf("%-28s %18.2f %18.2f\n", regime.name, (flint.mean_factor - 1.0) * 100.0,
+                (spark.mean_factor - 1.0) * 100.0);
+  }
+  std::printf(
+      "Paper shape check: Flint stays within a few %% of on-demand in both\n"
+      "regimes; unmodified Spark degrades several-fold more as volatility rises.\n");
+  return 0;
+}
+
+}  // namespace flint
+
+int main() { return flint::RunFig10(); }

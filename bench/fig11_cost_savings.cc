@@ -1,0 +1,105 @@
+// Figure 11: cost savings (Sec 5.5).
+//   (a) Normalized unit cost of running the canonical job under five
+//       strategies over six months of market traces. Paper: Flint-batch and
+//       Flint-interactive land near 0.1x of on-demand; SpotFleet ~2x Flint;
+//       Spark-EMR on spot ~3x Flint (a 25% of-on-demand fee + app-agnostic
+//       handling of revocations).
+//   (b) Normalized cost as a function of the bid, for three instance types:
+//       a wide flat optimal region around the on-demand bid ("peaky" prices).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/sim/trace_sim.h"
+#include "src/trace/market_catalog.h"
+
+namespace flint {
+
+int RunFig11() {
+  Marketplace marketplace(RegionMarkets(16, /*seed=*/11), 0.35, /*seed=*/11);
+  TraceSimulator sim(&marketplace);
+  CanonicalJob job;
+
+  bench::PrintHeader("Fig 11a: normalized unit cost by strategy (on-demand = 1.0)");
+  std::printf("%-24s %12s %12s %12s %10s\n", "strategy", "unit cost", "runtime x", "revocs/job",
+              "markets");
+  bench::PrintRule(76);
+  struct Strategy {
+    const char* name;
+    SelectionPolicyKind policy;
+    bool checkpointing;
+    double fee;
+  };
+  const Strategy strategies[] = {
+      {"Flint-Batch", SelectionPolicyKind::kFlintBatch, true, 0.0},
+      {"Flint-Interactive", SelectionPolicyKind::kFlintInteractive, true, 0.0},
+      {"SpotFleet (cheapest)", SelectionPolicyKind::kSpotFleetCheapest, false, 0.0},
+      {"EMR-Spot (+25% fee)", SelectionPolicyKind::kSpotFleetCheapest, false, 0.25},
+      {"On-demand", SelectionPolicyKind::kOnDemand, false, 0.0},
+  };
+  double flint_batch_cost = 1.0;
+  for (const Strategy& s : strategies) {
+    StrategyConfig cfg;
+    cfg.policy = s.policy;
+    cfg.checkpointing = s.checkpointing;
+    cfg.fee_fraction_of_on_demand = s.fee;
+    cfg.trials = 300;
+    cfg.seed = 12;
+    const StrategyResult r = sim.Run(job, cfg);
+    if (s.policy == SelectionPolicyKind::kFlintBatch) {
+      flint_batch_cost = r.normalized_unit_cost;
+    }
+    std::printf("%-24s %12.3f %12.3f %12.2f %10.1f\n", s.name, r.normalized_unit_cost,
+                r.mean_factor, r.mean_revocation_events, r.mean_markets_used);
+  }
+  bench::PrintRule(76);
+  std::printf("Flint-Batch savings vs on-demand: %.0f%%\n", (1.0 - flint_batch_cost) * 100.0);
+
+  bench::PrintHeader("Fig 11b: normalized cost vs bid (fraction of on-demand price)");
+  // Three instance types of different volatility, like m1.xlarge /
+  // m3.2xlarge / m2.2xlarge in the paper.
+  struct TypeDesc {
+    const char* name;
+    MarketVolatility volatility;
+    double od;
+  };
+  const TypeDesc types[] = {
+      {"m1.xlarge", MarketVolatility::kModerate, 0.35},
+      {"m3.2xlarge", MarketVolatility::kCalm, 0.56},
+      {"m2.2xlarge", MarketVolatility::kVolatile, 0.49},
+  };
+  std::printf("%12s", "bid/od:");
+  const double bids[] = {0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0};
+  for (double b : bids) {
+    std::printf(" %7.2f", b);
+  }
+  std::printf("\n");
+  bench::PrintRule(86);
+  for (const TypeDesc& t : types) {
+    SyntheticTraceParams params = ParamsForVolatility(t.volatility, t.od, /*seed=*/1300 + t.od);
+    const PriceTrace trace = GenerateSyntheticTrace(params);
+    std::printf("%12s", t.name);
+    for (double b : bids) {
+      const BidStats stats = ComputeBidStats(trace, b * t.od);
+      double cost;
+      if (stats.mttf_hours <= 0.0 || stats.availability < 0.05) {
+        cost = std::numeric_limits<double>::quiet_NaN();  // bid below floor: never runs
+      } else {
+        const double factor = ExpectedRuntimeFactor(CanonicalJob{}.delta_hours(),
+                                                    CanonicalJob{}.rd_hours, stats.mttf_hours, 1);
+        cost = factor * stats.avg_price / t.od * 100.0;  // % of on-demand
+      }
+      std::printf(" %7.1f", cost);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: cost is flat across a wide band of bids around the\n"
+      "on-demand price (prices are peaky), so bidding the on-demand price is optimal.\n");
+  return 0;
+}
+
+}  // namespace flint
+
+int main() { return flint::RunFig11(); }

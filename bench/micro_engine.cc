@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks for the engine primitives: narrow
+// transformation throughput, shuffle (ReduceByKey) throughput, block manager
+// put/get, trace statistics, and the policy closed forms. These are not
+// paper figures; they track the substrate's own performance.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/engine/block_manager.h"
+#include "src/engine/typed_rdd.h"
+#include "src/trace/price_trace.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+void BM_MapCollect(benchmark::State& state) {
+  testing::EngineHarness h;
+  std::vector<int64_t> data(static_cast<size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = base.Map([](const int64_t& x) { return x * 3 + 1; }).Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapCollect)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  testing::EngineHarness h;
+  std::vector<std::pair<int, int>> data;
+  data.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    data.emplace_back(static_cast<int>(i % 97), 1);
+  }
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = ReduceByKey(base, 4, [](int a, int b) { return a + b; }).Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_BlockManagerPutGet(benchmark::State& state) {
+  BlockManagerConfig config;
+  config.memory_budget_bytes = 64 * kMiB;
+  config.model_latency = false;
+  BlockManager bm(config);
+  std::vector<double> rows(4096);
+  PartitionPtr part = MakePartition(rows);
+  int i = 0;
+  for (auto _ : state) {
+    const BlockKey key{1, i++ % 512};
+    bool stored = false;
+    bm.Put(key, part, &stored);
+    benchmark::DoNotOptimize(bm.Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockManagerPutGet);
+
+void BM_BidStats(benchmark::State& state) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 30);
+  PriceTrace trace = GenerateSyntheticTrace(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBidStats(trace, params.on_demand_price));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_BidStats);
+
+void BM_ExpectedRuntimeFactor(benchmark::State& state) {
+  double mttf = 1.0;
+  for (auto _ : state) {
+    mttf += 0.001;
+    benchmark::DoNotOptimize(ExpectedRuntimeFactor(0.033, 0.033, mttf, 4));
+  }
+}
+BENCHMARK(BM_ExpectedRuntimeFactor);
+
+}  // namespace
+}  // namespace flint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,380 @@
+#include "src/checkpoint/ft_manager.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/log.h"
+
+namespace flint {
+
+FaultToleranceManager::FaultToleranceManager(FlintContext* ctx, CheckpointConfig config)
+    : ctx_(ctx),
+      config_(config),
+      mttf_hours_(config.mttf_hours),
+      delta_seconds_(config.initial_delta_seconds),
+      last_shuffle_checkpoint_(WallClock::now()) {
+  ctx_->AddObserver(this);
+}
+
+FaultToleranceManager::~FaultToleranceManager() {
+  Stop();
+  // In-flight asynchronous checkpoint writes notify observers; drain them
+  // before unregistering so none can reach a destroyed manager.
+  ctx_->DrainExecutors();
+  ctx_->RemoveObserver(this);
+}
+
+void FaultToleranceManager::Start() {
+  if (config_.policy == CheckpointPolicyKind::kNone) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stop_requested_ = false;
+  signal_thread_ = std::thread([this] { SignalLoop(); });
+}
+
+void FaultToleranceManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  thread_cv_.notify_all();
+  signal_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    running_ = false;
+  }
+}
+
+void FaultToleranceManager::SetMttf(double mttf_hours) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mttf_hours_ = mttf_hours;
+  }
+  thread_cv_.notify_all();  // re-evaluate tau promptly
+}
+
+double FaultToleranceManager::mttf_hours() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mttf_hours_;
+}
+
+double FaultToleranceManager::CurrentDeltaSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_seconds_;
+}
+
+double FaultToleranceManager::TauSecondsLocked() const {
+  if (config_.policy == CheckpointPolicyKind::kFixedInterval) {
+    return config_.fixed_interval_seconds;
+  }
+  const double mttf_engine_s = config_.time.ToEngineSeconds(mttf_hours_);
+  const double tau = OptimalCheckpointInterval(delta_seconds_, mttf_engine_s);
+  if (config_.policy == CheckpointPolicyKind::kSystemsLevel) {
+    return tau / static_cast<double>(std::max(1, config_.sys_frequency_divisor));
+  }
+  return tau;
+}
+
+double FaultToleranceManager::CurrentTauSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return TauSecondsLocked();
+}
+
+void FaultToleranceManager::SignalLoop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  bool first_round = true;
+  for (;;) {
+    double tau = CurrentTauSeconds();
+    // Cap the sleep so Stop() and MTTF updates are honored promptly even
+    // when tau is huge/infinite. The first round fires early: Flint
+    // checkpoints in advance "so there is always some checkpoint" (Sec 2.3),
+    // rather than leaving the initial tau-long window unprotected.
+    double sleep_s = std::isfinite(tau) ? std::min(tau, 30.0) : 1.0;
+    if (first_round && std::isfinite(tau)) {
+      sleep_s = std::min(sleep_s, std::max(0.2, tau / 4.0));
+    }
+    const bool stopping = thread_cv_.wait_for(lock, WallDuration(sleep_s),
+                                              [this] { return stop_requested_; });
+    if (stopping) {
+      return;
+    }
+    if (std::isfinite(tau)) {
+      first_round = false;
+      lock.unlock();
+      FireCheckpointRound();
+      lock.lock();
+    }
+  }
+}
+
+void FaultToleranceManager::FireCheckpointRound() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.signals_fired;
+  }
+  if (config_.policy == CheckpointPolicyKind::kSystemsLevel) {
+    SystemsLevelSnapshot();
+    return;
+  }
+  // Policy 1: checkpoint RDDs at the current frontier of the lineage graph.
+  // Cached frontier RDDs are written immediately (from cache); additionally
+  // the next RDD *generated* is marked so its partitions checkpoint as tasks
+  // finish computing them (Sec 4).
+  std::vector<RddPtr> to_checkpoint;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    signal_pending_ = true;
+    for (const auto& [id, rdd] : frontier_) {
+      if (rdd->checkpoint_state() == CheckpointState::kNone && rdd->should_cache()) {
+        to_checkpoint.push_back(rdd);
+      }
+    }
+    for (const auto& [id, rdd] : cached_sources_) {
+      if (rdd->checkpoint_state() == CheckpointState::kNone && rdd->should_cache()) {
+        to_checkpoint.push_back(rdd);
+      }
+    }
+  }
+  for (const RddPtr& rdd : to_checkpoint) {
+    CheckpointRddNow(rdd);
+  }
+}
+
+void FaultToleranceManager::MarkRdd(const RddPtr& rdd, bool enqueue_writes) {
+  if (rdd == nullptr || !rdd->MarkForCheckpoint()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PendingCheckpoint pending;
+    pending.rdd = rdd;
+    for (int p = 0; p < rdd->num_partitions(); ++p) {
+      pending.remaining.insert(p);
+    }
+    pending.started = WallClock::now();
+    pending_[rdd->id()] = std::move(pending);
+  }
+  FLINT_ILOG() << "checkpoint marked: rdd " << rdd->id() << " (" << rdd->name() << ")";
+  if (!enqueue_writes) {
+    // Partitions will be written as tasks finish computing them.
+    return;
+  }
+  for (int p = 0; p < rdd->num_partitions(); ++p) {
+    Status st = ctx_->EnqueueCheckpointWrite(rdd, p);
+    if (!st.ok()) {
+      FLINT_WLOG() << "checkpoint enqueue failed: " << st.ToString();
+    }
+  }
+}
+
+void FaultToleranceManager::CheckpointRddNow(const RddPtr& rdd) {
+  MarkRdd(rdd, /*enqueue_writes=*/true);
+}
+
+void FaultToleranceManager::SystemsLevelSnapshot() {
+  // Persist the entire RDD cache plus per-node executor state (shuffle
+  // buffers), modelling a distributed whole-memory snapshot.
+  const auto blocks = ctx_->BlockRegistrySnapshot();
+  const uint64_t epoch = ++sys_epoch_;
+  for (const auto& [key, node_id] : blocks) {
+    auto node = ctx_->GetNodeState(node_id);
+    if (node == nullptr || node->revoked.load(std::memory_order_acquire)) {
+      continue;
+    }
+    node->pool->Submit([this, key, node, epoch] {
+      PartitionPtr data = node->blocks->Get(key);
+      if (data == nullptr) {
+        return;
+      }
+      DfsObject obj;
+      obj.size_bytes = data->SizeBytes();
+      obj.data = std::static_pointer_cast<const void>(data);
+      const std::string path = "sys/epoch_" + std::to_string(epoch) + "/rdd_" +
+                               std::to_string(key.rdd_id) + "_p" + std::to_string(key.partition);
+      (void)ctx_->dfs().Put(path, std::move(obj));
+    });
+  }
+  // Shuffle buffers of the live (recent) shuffles are part of worker memory
+  // and must be persisted too; one blob per node carries its share.
+  const uint64_t shuffle_bytes = ctx_->shuffles().RecentShuffleBytes(3);
+  auto live = ctx_->LiveNodeStates();
+  if (shuffle_bytes > 0 && !live.empty()) {
+    const uint64_t share = shuffle_bytes / live.size();
+    for (const auto& node : live) {
+      node->pool->Submit([this, node, share, epoch] {
+        DfsObject obj;
+        obj.size_bytes = share;
+        obj.data = std::shared_ptr<const void>(
+            new uint8_t(0), [](const void* p) { delete static_cast<const uint8_t*>(p); });
+        const std::string path = "sys/epoch_" + std::to_string(epoch) + "/shuffle_node_" +
+                                 std::to_string(node->info.node_id);
+        (void)ctx_->dfs().Put(path, std::move(obj));
+      });
+    }
+  }
+  // Keep only the latest epoch (continuous snapshotting reuses space).
+  if (epoch > 1) {
+    ctx_->dfs().DeletePrefix("sys/epoch_" + std::to_string(epoch - 1) + "/");
+  }
+}
+
+void FaultToleranceManager::PruneAncestorsLocked(const RddPtr& rdd) {
+  std::deque<const Rdd*> queue;
+  queue.push_back(rdd.get());
+  std::unordered_set<int> visited;
+  while (!queue.empty()) {
+    const Rdd* cur = queue.front();
+    queue.pop_front();
+    for (const auto& dep : cur->deps()) {
+      if (dep.parent == nullptr || !visited.insert(dep.parent->id()).second) {
+        continue;
+      }
+      frontier_.erase(dep.parent->id());
+      queue.push_back(dep.parent.get());
+    }
+  }
+}
+
+void FaultToleranceManager::OnRddCreated(const RddPtr& rdd) {
+  if (config_.policy == CheckpointPolicyKind::kNone ||
+      config_.policy == CheckpointPolicyKind::kSystemsLevel) {
+    return;
+  }
+  // Sources carry no computation worth protecting; skip them.
+  if (rdd->deps().empty()) {
+    return;
+  }
+  bool mark = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (signal_pending_) {
+      // "After signaling, each new RDD generated at the frontier of its
+      // lineage graph is marked for checkpointing."
+      signal_pending_ = false;
+      mark = true;
+    } else if (config_.policy == CheckpointPolicyKind::kFlint && config_.shuffle_boost &&
+               rdd->is_shuffle_output()) {
+      // Shuffle RDDs checkpoint at tau / #map-partitions (Sec 3.1.1): wide
+      // dependencies make their recomputation disproportionately expensive.
+      int num_maps = 1;
+      for (const auto& dep : rdd->deps()) {
+        if (dep.type == DepType::kShuffle && dep.shuffle != nullptr) {
+          num_maps = std::max(num_maps, dep.shuffle->num_map_partitions);
+        }
+      }
+      const double tau = TauSecondsLocked();
+      const double boost_interval = std::isfinite(tau)
+                                        ? tau / static_cast<double>(num_maps)
+                                        : std::numeric_limits<double>::infinity();
+      const double since = WallDuration(WallClock::now() - last_shuffle_checkpoint_).count();
+      if (since >= boost_interval) {
+        last_shuffle_checkpoint_ = WallClock::now();
+        mark = true;
+      }
+    }
+  }
+  if (mark) {
+    // Partitions checkpoint as tasks finish computing them; no extra
+    // recomputation is spawned.
+    MarkRdd(rdd, /*enqueue_writes=*/false);
+  }
+}
+
+void FaultToleranceManager::OnRddMaterialized(const RddPtr& rdd) {
+  if (config_.policy == CheckpointPolicyKind::kNone ||
+      config_.policy == CheckpointPolicyKind::kSystemsLevel) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  PruneAncestorsLocked(rdd);
+  frontier_[rdd->id()] = rdd;
+  if (rdd->deps().empty() && rdd->should_cache()) {
+    cached_sources_[rdd->id()] = rdd;
+  }
+}
+
+void FaultToleranceManager::OnCheckpointWritten(const RddPtr& rdd, int partition, uint64_t bytes,
+                                                double write_seconds) {
+  (void)write_seconds;
+  RddPtr completed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.partitions_written += 1;
+    stats_.bytes_written += bytes;
+    auto it = pending_.find(rdd->id());
+    if (it == pending_.end()) {
+      return;
+    }
+    it->second.remaining.erase(partition);  // idempotent under racing writers
+    if (!it->second.remaining.empty()) {
+      return;
+    }
+    // Whole RDD durably saved: measure effective delta for this round.
+    const double measured = WallDuration(WallClock::now() - it->second.started).count();
+    delta_seconds_ = config_.delta_ewma_alpha * measured +
+                     (1.0 - config_.delta_ewma_alpha) * delta_seconds_;
+    completed = it->second.rdd;
+    pending_.erase(it);
+    stats_.rdds_checkpointed += 1;
+  }
+  completed->SetCheckpointSaved();
+  FLINT_ILOG() << "checkpoint saved: rdd " << completed->id();
+  thread_cv_.notify_all();  // tau may have changed with delta
+  if (config_.gc_enabled) {
+    GarbageCollectAncestors(completed);
+  }
+}
+
+void FaultToleranceManager::GarbageCollectAncestors(const RddPtr& rdd) {
+  // Checkpointing an RDD truncates its lineage; ancestor checkpoints become
+  // unreachable and are deleted (Sec 4, "Checkpoint Garbage Collection").
+  std::deque<const Rdd*> queue;
+  queue.push_back(rdd.get());
+  std::unordered_set<int> visited;
+  uint64_t deleted = 0;
+  while (!queue.empty()) {
+    const Rdd* cur = queue.front();
+    queue.pop_front();
+    for (const auto& dep : cur->deps()) {
+      if (dep.parent == nullptr || !visited.insert(dep.parent->id()).second) {
+        continue;
+      }
+      // Cached RDDs are long-lived by programmer intent (e.g. PageRank's
+      // adjacency lists feed every iteration); their checkpoints stay until
+      // the cache hint is dropped. Everything else below a newer checkpoint
+      // is unreachable.
+      if (dep.parent->checkpoint_state() == CheckpointState::kSaved &&
+          !dep.parent->should_cache()) {
+        ctx_->dfs().DeletePrefix(dep.parent->CheckpointDir());
+        ++deleted;
+      }
+      queue.push_back(dep.parent.get());
+    }
+  }
+  if (deleted > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.gc_deleted_rdds += deleted;
+  }
+}
+
+void FaultToleranceManager::OnNodeWarning(const NodeInfo& node) {
+  // The warning path belongs to the node manager (market re-selection); the
+  // FT manager just surfaces its current estimates via the getters.
+  FLINT_ILOG() << "revocation warning for node " << node.node_id << " (delta="
+               << CurrentDeltaSeconds() << "s tau=" << CurrentTauSeconds() << "s)";
+}
+
+FaultToleranceManager::Stats FaultToleranceManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flint

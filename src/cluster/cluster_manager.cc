@@ -1,0 +1,147 @@
+#include "src/cluster/cluster_manager.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace flint {
+
+ClusterManager::ClusterManager(TimeConfig time_config) : time_config_(time_config) {}
+
+ClusterManager::~ClusterManager() = default;
+
+void ClusterManager::SetListener(ClusterListener* listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(live_.empty() && "listener must be set before nodes exist");
+  listener_ = listener;
+}
+
+NodeId ClusterManager::AddNode(MarketId market, uint64_t memory_budget_bytes,
+                               int executor_threads) {
+  NodeInfo info;
+  ClusterListener* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    info.node_id = next_node_id_++;
+    info.market = market;
+    info.memory_budget_bytes = memory_budget_bytes;
+    info.executor_threads = executor_threads;
+    live_[info.node_id] = info;
+    listener = listener_;
+  }
+  FLINT_ILOG() << "node " << info.node_id << " added (market " << market << ")";
+  if (listener != nullptr) {
+    listener->OnNodeAdded(info);
+  }
+  return info.node_id;
+}
+
+NodeId ClusterManager::AddNodeAfterDelay(MarketId market, uint64_t memory_budget_bytes,
+                                         int executor_threads) {
+  NodeId reserved;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reserved = next_node_id_++;
+  }
+  const double delay_s = time_config_.ToEngineSeconds(time_config_.acquisition_delay);
+  timers_.ScheduleAfter(WallDuration(delay_s), [this, reserved, market, memory_budget_bytes,
+                                                executor_threads] {
+    NodeInfo info;
+    ClusterListener* listener = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      info.node_id = reserved;
+      info.market = market;
+      info.memory_budget_bytes = memory_budget_bytes;
+      info.executor_threads = executor_threads;
+      live_[info.node_id] = info;
+      listener = listener_;
+    }
+    FLINT_ILOG() << "replacement node " << info.node_id << " joined (market " << market << ")";
+    if (listener != nullptr) {
+      listener->OnNodeAdded(info);
+    }
+  });
+  return reserved;
+}
+
+void ClusterManager::Revoke(const std::vector<NodeId>& nodes, bool with_warning) {
+  for (NodeId node : nodes) {
+    NodeInfo info;
+    ClusterListener* listener = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = live_.find(node);
+      if (it == live_.end()) {
+        continue;
+      }
+      info = it->second;
+      listener = listener_;
+    }
+    if (with_warning) {
+      if (listener != nullptr) {
+        listener->OnNodeWarning(info);
+      }
+      const double warn_s = time_config_.ToEngineSeconds(time_config_.revocation_warning);
+      timers_.ScheduleAfter(WallDuration(warn_s), [this, node] { FinishRevocation(node); });
+    } else {
+      FinishRevocation(node);
+    }
+  }
+}
+
+void ClusterManager::RevokeMarket(MarketId market, bool with_warning) {
+  std::vector<NodeId> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, info] : live_) {
+      if (info.market == market) {
+        victims.push_back(id);
+      }
+    }
+  }
+  Revoke(victims, with_warning);
+}
+
+void ClusterManager::FinishRevocation(NodeId node) {
+  NodeInfo info;
+  ClusterListener* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(node);
+    if (it == live_.end()) {
+      return;
+    }
+    info = it->second;
+    live_.erase(it);
+    listener = listener_;
+  }
+  FLINT_ILOG() << "node " << node << " revoked";
+  if (listener != nullptr) {
+    listener->OnNodeRevoked(info);
+  }
+}
+
+std::vector<NodeInfo> ClusterManager::LiveNodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<NodeInfo> out;
+  out.reserve(live_.size());
+  for (const auto& [id, info] : live_) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+size_t ClusterManager::NumLiveNodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+bool ClusterManager::IsLive(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.count(node) > 0;
+}
+
+void ClusterManager::DrainEvents() { timers_.Drain(); }
+
+}  // namespace flint

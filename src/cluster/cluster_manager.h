@@ -1,0 +1,96 @@
+// Node lifecycle for the engine plane: membership, revocation warnings and
+// revocations (delivered on the timer thread), and delayed acquisition of
+// replacement nodes. The engine registers a ClusterListener and owns all
+// per-node execution state (block manager, executors); this module only owns
+// identity and lifecycle, so it has no dependency on the engine.
+
+#ifndef SRC_CLUSTER_CLUSTER_MANAGER_H_
+#define SRC_CLUSTER_CLUSTER_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/time_config.h"
+#include "src/cluster/timer_queue.h"
+#include "src/common/units.h"
+#include "src/market/marketplace.h"
+
+namespace flint {
+
+using NodeId = int;
+
+// Static description of one cluster node.
+struct NodeInfo {
+  NodeId node_id = -1;
+  MarketId market = kOnDemandMarket;
+  uint64_t memory_budget_bytes = 256 * kMiB;
+  int executor_threads = 1;
+};
+
+// Lifecycle callbacks. Invoked on the timer thread (or the caller's thread
+// for immediate additions); implementations must be thread-safe and must not
+// block for long.
+class ClusterListener {
+ public:
+  virtual ~ClusterListener() = default;
+  virtual void OnNodeAdded(const NodeInfo& node) = 0;
+  // Revocation warning (EC2's 2-minute notice). The node keeps running until
+  // OnNodeRevoked.
+  virtual void OnNodeWarning(const NodeInfo& node) = 0;
+  virtual void OnNodeRevoked(const NodeInfo& node) = 0;
+};
+
+class ClusterManager {
+ public:
+  explicit ClusterManager(TimeConfig time_config);
+  ~ClusterManager();
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  // At most one listener; must be set before nodes are added.
+  void SetListener(ClusterListener* listener);
+
+  const TimeConfig& time_config() const { return time_config_; }
+
+  // Immediately adds a node (initial provisioning). Returns its id.
+  NodeId AddNode(MarketId market, uint64_t memory_budget_bytes, int executor_threads = 1);
+
+  // Adds a node after the model acquisition delay (replacement provisioning).
+  // Returns the id the node will have.
+  NodeId AddNodeAfterDelay(MarketId market, uint64_t memory_budget_bytes,
+                           int executor_threads = 1);
+
+  // Delivers a warning to each node now and revokes them one model warning
+  // period later. Nodes already gone are ignored.
+  void Revoke(const std::vector<NodeId>& nodes, bool with_warning = true);
+
+  // Revokes every live node acquired from `market` (the paper's batch-mode
+  // scenario: a price spike kills the whole homogeneous cluster).
+  void RevokeMarket(MarketId market, bool with_warning = true);
+
+  // Snapshot of currently live (not yet revoked) nodes. Nodes under warning
+  // are still included — they keep executing until revocation.
+  std::vector<NodeInfo> LiveNodes() const;
+  size_t NumLiveNodes() const;
+  bool IsLive(NodeId node) const;
+
+  // Blocks until all scheduled lifecycle events have been delivered.
+  void DrainEvents();
+
+ private:
+  void FinishRevocation(NodeId node);
+
+  TimeConfig time_config_;
+  mutable std::mutex mutex_;
+  ClusterListener* listener_ = nullptr;
+  std::unordered_map<NodeId, NodeInfo> live_;
+  NodeId next_node_id_ = 0;
+  TimerQueue timers_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_CLUSTER_CLUSTER_MANAGER_H_

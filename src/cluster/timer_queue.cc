@@ -1,0 +1,78 @@
+#include "src/cluster/timer_queue.h"
+
+#include <utility>
+#include <vector>
+
+namespace flint {
+
+TimerQueue::TimerQueue() : thread_([this] { Loop(); }) {}
+
+TimerQueue::~TimerQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+uint64_t TimerQueue::ScheduleAfter(WallDuration delay, std::function<void()> fn) {
+  const WallTime deadline =
+      WallClock::now() + std::chrono::duration_cast<WallClock::duration>(delay);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    pending_.emplace(std::make_pair(deadline, id), std::move(fn));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool TimerQueue::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first.second == id) {
+      pending_.erase(it);
+      drained_.notify_all();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TimerQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return pending_.empty() && firing_ == 0; });
+}
+
+void TimerQueue::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) {
+      return;
+    }
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      continue;
+    }
+    const WallTime next_deadline = pending_.begin()->first.first;
+    if (WallClock::now() < next_deadline) {
+      cv_.wait_until(lock, next_deadline);
+      continue;
+    }
+    auto it = pending_.begin();
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    ++firing_;
+    lock.unlock();
+    fn();
+    lock.lock();
+    --firing_;
+    if (pending_.empty() && firing_ == 0) {
+      drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace flint

@@ -1,0 +1,54 @@
+// A single-threaded timer service: schedule callbacks at absolute wall-clock
+// deadlines. Used by the cluster manager to deliver revocation warnings,
+// revocations, and delayed node acquisitions without spawning a thread per
+// event.
+
+#ifndef SRC_CLUSTER_TIMER_QUEUE_H_
+#define SRC_CLUSTER_TIMER_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/common/units.h"
+
+namespace flint {
+
+class TimerQueue {
+ public:
+  TimerQueue();
+  ~TimerQueue();
+
+  TimerQueue(const TimerQueue&) = delete;
+  TimerQueue& operator=(const TimerQueue&) = delete;
+
+  // Runs `fn` once `delay` has elapsed. Returns an id usable with Cancel.
+  uint64_t ScheduleAfter(WallDuration delay, std::function<void()> fn);
+
+  // Best-effort cancel; returns true if the callback had not fired yet.
+  bool Cancel(uint64_t id);
+
+  // Blocks until all currently scheduled callbacks have fired or been
+  // cancelled. New callbacks scheduled while draining are also waited on.
+  void Drain();
+
+ private:
+  void Loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_;
+  // Keyed by (deadline, id) for stable ordering of same-deadline events.
+  std::map<std::pair<WallTime, uint64_t>, std::function<void()>> pending_;
+  uint64_t next_id_ = 1;
+  size_t firing_ = 0;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_CLUSTER_TIMER_QUEUE_H_

@@ -1,0 +1,45 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace flint {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace log_internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  if (level < GetLogLevel() || message.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[flint %s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace flint

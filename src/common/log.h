@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. Benchmarks lower the
+// level to kWarn so harness output stays clean.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace flint {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define FLINT_LOG(level) ::flint::log_internal::LogLine(::flint::LogLevel::level)
+#define FLINT_DLOG() FLINT_LOG(kDebug)
+#define FLINT_ILOG() FLINT_LOG(kInfo)
+#define FLINT_WLOG() FLINT_LOG(kWarn)
+#define FLINT_ELOG() FLINT_LOG(kError)
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_LOG_H_

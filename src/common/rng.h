@@ -1,0 +1,117 @@
+// Deterministic random number generation for simulations and workload
+// generators. Every source of randomness in Flint flows from a seeded Rng so
+// that experiments are exactly reproducible.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace flint {
+
+// SplitMix64-seeded xoshiro256**. Small, fast, and high-quality enough for
+// Monte-Carlo simulation; not for cryptographic use.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). Unbiased via rejection.
+  uint64_t UniformInt(uint64_t n) {
+    if (n == 0) {
+      return 0;
+    }
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  // Exponential with the given mean (= 1/rate). Used for revocation
+  // inter-arrival times given an MTTF.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) {
+      u = std::numeric_limits<double>::min();
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return mean + stddev * cached_normal_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = std::numeric_limits<double>::min();
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Pareto with scale x_m and shape alpha; heavy-tailed, used for "peaky"
+  // spot-price spike magnitudes.
+  double Pareto(double x_m, double alpha) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = std::numeric_limits<double>::min();
+    }
+    return x_m / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  // Forks an independent stream; used to give each market / partition its own
+  // generator so ordering of draws cannot leak between components.
+  Rng Fork() { return Rng(NextU64() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace flint {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) {
+    return samples.front();
+  }
+  if (p >= 100.0) {
+    return samples.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) {
+    return samples.back();
+  }
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Ecdf(std::vector<double> samples) {
+  std::vector<std::pair<double, double>> out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    // Collapse runs of equal values to the final (highest) CDF value.
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) {
+      continue;
+    }
+    out.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double AggregateMttf(const std::vector<double>& mttfs) {
+  double rate = 0.0;
+  for (double m : mttfs) {
+    if (m > 0.0 && std::isfinite(m)) {
+      rate += 1.0 / m;
+    }
+  }
+  if (rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / rate;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) {
+    s += (x - m) * (x - m);
+  }
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace flint

@@ -1,0 +1,152 @@
+// Lightweight error-handling primitives used across all Flint libraries.
+//
+// Flint avoids exceptions on hot paths (scheduler, block manager, market
+// simulator). Fallible operations return Status, or Result<T> when they also
+// produce a value.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace flint {
+
+// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,   // transient: e.g. node revoked mid-operation
+  kDataLoss,      // e.g. cached partition evicted and origin unavailable
+  kCancelled,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic status: either OK or (code, message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+inline Status Cancelled(std::string msg) { return Status(StatusCode::kCancelled, std::move(msg)); }
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "Result built from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(value_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define FLINT_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::flint::Status _st = (expr);          \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (false)
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define FLINT_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto FLINT_CONCAT_(_res, __LINE__) = (expr);                       \
+  if (!FLINT_CONCAT_(_res, __LINE__).ok()) {                         \
+    return FLINT_CONCAT_(_res, __LINE__).status();                   \
+  }                                                                  \
+  lhs = std::move(FLINT_CONCAT_(_res, __LINE__)).value()
+
+#define FLINT_CONCAT_INNER_(a, b) a##b
+#define FLINT_CONCAT_(a, b) FLINT_CONCAT_INNER_(a, b)
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_STATUS_H_

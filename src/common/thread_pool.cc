@@ -1,0 +1,103 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace flint {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown_ is set and nothing left to run.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    // Destroy the task (and everything it captured) BEFORE reporting
+    // completion: a caller unblocked by Wait() may immediately release its
+    // references to objects the closure co-owns — including, transitively,
+    // this very pool — and the last release must not happen on a worker
+    // thread (a pool destroying itself from its own worker would self-join).
+    task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  ThreadPool pool(std::min(num_threads, n));
+  for (size_t t = 0; t < pool.num_threads(); ++t) {
+    pool.Submit([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace flint

@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by the engine's executors and by benchmark
+// harnesses for parallel trials. Tasks are arbitrary std::function<void()>;
+// the pool drains and joins in the destructor.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flint {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Never blocks. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, n) across `num_threads` workers and waits.
+void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn);
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

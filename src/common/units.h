@@ -1,0 +1,43 @@
+// Units used throughout Flint.
+//
+// Simulated time is a double count of *hours* (SimTime/SimDuration) because
+// the paper's market quantities (MTTF, billing) are hourly. Engine-plane time
+// (real execution) uses std::chrono. Byte quantities are uint64_t with named
+// helpers.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flint {
+
+// --- Simulation-plane time (hours as double) ---
+using SimTime = double;      // absolute simulated time, in hours since epoch 0
+using SimDuration = double;  // simulated duration, in hours
+
+constexpr SimDuration Hours(double h) { return h; }
+constexpr SimDuration Minutes(double m) { return m / 60.0; }
+constexpr SimDuration Seconds(double s) { return s / 3600.0; }
+
+constexpr double ToSeconds(SimDuration d) { return d * 3600.0; }
+constexpr double ToMinutes(SimDuration d) { return d * 60.0; }
+
+// --- Engine-plane (real) time ---
+using WallClock = std::chrono::steady_clock;
+using WallTime = WallClock::time_point;
+using WallDuration = std::chrono::duration<double>;  // seconds
+
+// --- Bytes ---
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_UNITS_H_

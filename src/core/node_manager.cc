@@ -1,0 +1,243 @@
+#include "src/core/node_manager.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/common/stats.h"
+
+namespace flint {
+
+NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToleranceManager* ft,
+                         NodeManagerConfig config)
+    : ctx_(ctx),
+      marketplace_(marketplace),
+      ft_(ft),
+      config_(std::move(config)),
+      selector_(marketplace, config_.selection),
+      engine_start_(WallClock::now()) {
+  ctx_->AddObserver(this);
+}
+
+NodeManager::~NodeManager() {
+  ctx_->RemoveObserver(this);
+  timers_.Drain();
+}
+
+SimTime NodeManager::Now() const {
+  const double elapsed_s = WallDuration(WallClock::now() - engine_start_).count();
+  return config_.sim_start + ctx_->cluster().time_config().FromEngineSeconds(elapsed_s);
+}
+
+Result<std::vector<MarketId>> NodeManager::InitialMarkets() {
+  const SimTime now = Now();
+  std::vector<MarketId> per_node(static_cast<size_t>(config_.cluster_size), kOnDemandMarket);
+  switch (config_.policy) {
+    case SelectionPolicyKind::kFlintBatch: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev, selector_.SelectBatch(now, config_.job));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kFlintInteractive: {
+      FLINT_ASSIGN_OR_RETURN(MixEvaluation mix, selector_.SelectInteractive(now, config_.job));
+      for (size_t i = 0; i < per_node.size(); ++i) {
+        per_node[i] = mix.markets[i % mix.markets.size()];
+      }
+      return per_node;
+    }
+    case SelectionPolicyKind::kSpotFleetCheapest: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev, selector_.SelectCheapest(now, config_.job));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kSpotFleetLeastVolatile: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev,
+                             selector_.SelectLeastVolatile(now, config_.job));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kOnDemand:
+      return per_node;
+  }
+  return Internal("unknown policy");
+}
+
+Status NodeManager::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) {
+      return FailedPrecondition("node manager already started");
+    }
+    started_ = true;
+    engine_start_ = WallClock::now();
+  }
+  FLINT_ASSIGN_OR_RETURN(std::vector<MarketId> markets, InitialMarkets());
+  const SimTime now = Now();
+  for (MarketId market : markets) {
+    Result<Lease> lease = marketplace_->Acquire(market, selector_.BidFor(market), now);
+    if (!lease.ok()) {
+      // Spot request refused (price moved): fall back to on-demand.
+      lease = marketplace_->Acquire(kOnDemandMarket, marketplace_->on_demand_price(), now);
+    }
+    const NodeId id = ctx_->cluster().AddNode(lease->market, config_.node_memory_bytes,
+                                              config_.executor_threads);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      leases_[id] = LeaseRecord{*lease, true, 0.0};
+    }
+    if (config_.market_driven_revocations && std::isfinite(lease->revocation)) {
+      ScheduleMarketRevocation(id, lease->revocation);
+    }
+  }
+  UpdateFtMttf();
+  return Status::Ok();
+}
+
+void NodeManager::ScheduleMarketRevocation(NodeId node, SimTime revocation_time) {
+  const TimeConfig& tc = ctx_->cluster().time_config();
+  const SimTime warn_at = revocation_time - tc.revocation_warning;
+  const double delay_s = std::max(0.0, tc.ToEngineSeconds(warn_at - Now()));
+  timers_.ScheduleAfter(WallDuration(delay_s), [this, node] {
+    ctx_->cluster().Revoke({node}, /*with_warning=*/true);
+  });
+}
+
+void NodeManager::UpdateFtMttf() {
+  if (ft_ == nullptr) {
+    return;
+  }
+  // Aggregate MTTF of the distinct markets currently in use (Eq. 3).
+  std::vector<double> mttfs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_set<MarketId> seen;
+    for (const auto& [id, rec] : leases_) {
+      if (!rec.open || !seen.insert(rec.lease.market).second) {
+        continue;
+      }
+      mttfs.push_back(marketplace_
+                          ->WindowStats(rec.lease.market, Now(), config_.selection.history_window,
+                                        rec.lease.bid)
+                          .mttf_hours);
+    }
+  }
+  ft_->SetMttf(AggregateMttf(mttfs));
+}
+
+void NodeManager::OnNodeWarning(const NodeInfo& node) {
+  // Immediate market re-selection on the 2-minute warning (Sec 4): request
+  // the replacement before the node is even gone.
+  MarketId revoked_market = node.market;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!warned_.insert(node.node_id).second) {
+      return;  // replacement already requested for this node
+    }
+    auto it = leases_.find(node.node_id);
+    if (it != leases_.end()) {
+      revoked_market = it->second.lease.market;
+    }
+    if (revoked_market != kOnDemandMarket) {
+      recently_revoked_.insert(revoked_market);
+    }
+  }
+  ProvisionReplacement(revoked_market);
+}
+
+void NodeManager::ProvisionReplacement(MarketId revoked_market) {
+  std::unordered_set<MarketId> exclude;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exclude = recently_revoked_;
+  }
+  if (revoked_market != kOnDemandMarket) {
+    exclude.insert(revoked_market);
+  }
+  const SimTime now = Now();
+  Result<MarketEvaluation> choice =
+      selector_.SelectReplacement(config_.policy, now, config_.job, exclude);
+  MarketId market = choice.ok() ? choice->id : kOnDemandMarket;
+  Result<Lease> lease = marketplace_->Acquire(market, selector_.BidFor(market), now);
+  if (!lease.ok()) {
+    lease = marketplace_->Acquire(kOnDemandMarket, marketplace_->on_demand_price(), now);
+  }
+  const NodeId id = ctx_->cluster().AddNodeAfterDelay(lease->market, config_.node_memory_bytes,
+                                                      config_.executor_threads);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leases_[id] = LeaseRecord{*lease, true, 0.0};
+  }
+  if (config_.market_driven_revocations && std::isfinite(lease->revocation)) {
+    ScheduleMarketRevocation(id, lease->revocation);
+  }
+  UpdateFtMttf();
+}
+
+double NodeManager::CloseLeaseCost(LeaseRecord& rec, SimTime end) {
+  rec.open = false;
+  rec.end = end;
+  return marketplace_->Cost(rec.lease, end);
+}
+
+void NodeManager::OnNodeRevoked(const NodeInfo& node) {
+  bool need_replacement = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = leases_.find(node.node_id);
+    if (it != leases_.end() && it->second.open) {
+      closed_cost_ += CloseLeaseCost(it->second, Now());
+    }
+    // Revocation without a warning (e.g. scripted hard kill): the warning
+    // path never requested a replacement, so do it now.
+    need_replacement = warned_.insert(node.node_id).second;
+  }
+  if (need_replacement) {
+    ProvisionReplacement(node.market);
+  }
+}
+
+void NodeManager::OnNodeAdded(const NodeInfo& node) {
+  (void)node;
+  // Replacement joined: its market is live again for future restoration.
+  std::lock_guard<std::mutex> lock(mutex_);
+  recently_revoked_.clear();
+}
+
+double NodeManager::TotalCost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = closed_cost_;
+  const SimTime now = Now();
+  for (const auto& [id, rec] : leases_) {
+    if (rec.open) {
+      total += marketplace_->Cost(rec.lease, now);
+    }
+  }
+  return total;
+}
+
+double NodeManager::OnDemandEquivalentCost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // On-demand bills whole hours per server, like the spot side.
+  double cost = 0.0;
+  const SimTime now = Now();
+  for (const auto& [id, rec] : leases_) {
+    const double hours = rec.open ? std::max(0.0, now - rec.lease.start)
+                                  : std::max(0.0, rec.end - rec.lease.start);
+    cost += std::ceil(hours - 1e-9) * marketplace_->on_demand_price();
+  }
+  return cost;
+}
+
+std::vector<MarketId> NodeManager::ActiveMarkets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unordered_set<MarketId> seen;
+  std::vector<MarketId> out;
+  for (const auto& [id, rec] : leases_) {
+    if (rec.open && seen.insert(rec.lease.market).second) {
+      out.push_back(rec.lease.market);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace flint

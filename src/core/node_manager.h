@@ -1,0 +1,110 @@
+// The node manager (paper Sec 4, Fig 5): provisions a cluster of N transient
+// servers using a server-selection policy, monitors market state, replaces
+// revoked servers (restoration policy), keeps the fault-tolerance manager's
+// cluster MTTF estimate current, and bills every lease.
+//
+// It bridges the two time planes: engine wall time advances the simulated
+// market clock at TimeConfig::seconds_per_model_hour. With
+// market_driven_revocations, leases' trace-determined revocation times are
+// scheduled onto the cluster as warnings + revocations; benches that need
+// scripted faults leave it off and call ClusterManager::Revoke directly.
+
+#ifndef SRC_CORE_NODE_MANAGER_H_
+#define SRC_CORE_NODE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/checkpoint/ft_manager.h"
+#include "src/cluster/timer_queue.h"
+#include "src/engine/context.h"
+#include "src/engine/observer.h"
+#include "src/market/marketplace.h"
+#include "src/select/selection.h"
+
+namespace flint {
+
+struct NodeManagerConfig {
+  int cluster_size = 10;
+  uint64_t node_memory_bytes = 64 * kMiB;
+  int executor_threads = 1;
+  SelectionPolicyKind policy = SelectionPolicyKind::kFlintBatch;
+  SelectionConfig selection;
+  JobProfile job;
+  // Drive revocations from the market traces (demo / end-to-end runs).
+  // Benches with scripted fault plans keep this false.
+  bool market_driven_revocations = false;
+  // Simulated epoch at which the cluster starts; defaults to one window in so
+  // "recent history" exists.
+  SimTime sim_start = Hours(24.0 * 7);
+};
+
+class NodeManager : public EngineObserver {
+ public:
+  NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToleranceManager* ft,
+              NodeManagerConfig config);
+  ~NodeManager() override;
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  // Runs the initial selection policy and provisions cluster_size nodes.
+  Status Start();
+
+  // Current simulated market time.
+  SimTime Now() const;
+
+  // Total cost accrued so far across all leases (closed + open-to-now).
+  double TotalCost() const;
+  // What the same node-hours would have cost on on-demand servers.
+  double OnDemandEquivalentCost() const;
+
+  // Markets currently in use (distinct, live nodes).
+  std::vector<MarketId> ActiveMarkets() const;
+  const ServerSelector& selector() const { return selector_; }
+
+  // EngineObserver:
+  void OnNodeWarning(const NodeInfo& node) override;
+  void OnNodeRevoked(const NodeInfo& node) override;
+  void OnNodeAdded(const NodeInfo& node) override;
+
+ private:
+  struct LeaseRecord {
+    Lease lease;
+    bool open = true;
+    SimTime end = 0.0;
+  };
+
+  // Picks markets for the initial cluster per the policy. Returns one entry
+  // per node (round-robin across the mix for interactive).
+  Result<std::vector<MarketId>> InitialMarkets();
+  // Acquires a lease and registers a node joining after the acquisition
+  // delay. Falls back to on-demand if the market refuses.
+  void ProvisionReplacement(MarketId preferred);
+  void UpdateFtMttf();
+  void ScheduleMarketRevocation(NodeId node, SimTime revocation_time);
+  double CloseLeaseCost(LeaseRecord& rec, SimTime end);
+
+  FlintContext* ctx_;
+  Marketplace* marketplace_;
+  FaultToleranceManager* ft_;
+  NodeManagerConfig config_;
+  ServerSelector selector_;
+
+  mutable std::mutex mutex_;
+  WallTime engine_start_;
+  bool started_ = false;
+  std::unordered_map<NodeId, LeaseRecord> leases_;
+  std::unordered_set<NodeId> warned_;              // replacement already requested
+  std::unordered_set<MarketId> recently_revoked_;  // excluded from restoration
+  double closed_cost_ = 0.0;
+
+  TimerQueue timers_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_CORE_NODE_MANAGER_H_

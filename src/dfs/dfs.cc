@@ -1,0 +1,126 @@
+#include "src/dfs/dfs.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace flint {
+
+void Dfs::ChargeWrite(uint64_t bytes) const {
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!model_latency_ || config_.write_bandwidth_bytes_per_s <= 0.0) {
+    return;
+  }
+  // write_bandwidth is effective per-writer throughput in logical bytes,
+  // i.e. replication fan-out is already folded in; replication does show up
+  // in MonthlyStorageCost.
+  const double seconds = static_cast<double>(bytes) / config_.write_bandwidth_bytes_per_s;
+  std::this_thread::sleep_for(WallDuration(seconds));
+}
+
+void Dfs::ChargeRead(uint64_t bytes) const {
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!model_latency_ || config_.read_bandwidth_bytes_per_s <= 0.0) {
+    return;
+  }
+  const double seconds = static_cast<double>(bytes) / config_.read_bandwidth_bytes_per_s;
+  std::this_thread::sleep_for(WallDuration(seconds));
+}
+
+Status Dfs::Put(const std::string& path, DfsObject object) {
+  if (path.empty()) {
+    return InvalidArgument("empty DFS path");
+  }
+  if (object.data == nullptr && object.size_bytes != 0) {
+    return InvalidArgument("null data with nonzero size");
+  }
+  ChargeWrite(object.size_bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size_bytes;
+  }
+  total_bytes_ += object.size_bytes;
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+  objects_[path] = std::move(object);
+  return Status::Ok();
+}
+
+Result<DfsObject> Dfs::Get(const std::string& path) const {
+  DfsObject obj;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objects_.find(path);
+    if (it == objects_.end()) {
+      return NotFound("DFS object " + path);
+    }
+    obj = it->second;
+  }
+  ChargeRead(obj.size_bytes);
+  return obj;
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(path) > 0;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return NotFound("DFS object " + path);
+  }
+  total_bytes_ -= it->second.size_bytes;
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+size_t Dfs::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t removed = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      total_bytes_ -= it->second.size_bytes;
+      it = objects_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> Dfs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [path, obj] : objects_) {
+    if (path.rfind(prefix, 0) == 0) {
+      out.push_back(path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t Dfs::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+uint64_t Dfs::PeakBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_bytes_;
+}
+
+uint64_t Dfs::NumObjects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+double Dfs::MonthlyStorageCost() const {
+  const double gb =
+      static_cast<double>(PeakBytes()) * std::max(1, config_.replication) / (1024.0 * 1024.0 * 1024.0);
+  return gb * config_.storage_price_gb_month;
+}
+
+}  // namespace flint

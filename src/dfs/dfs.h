@@ -1,0 +1,105 @@
+// Distributed-file-system substrate for checkpoint storage.
+//
+// Models the paper's HDFS-on-EBS deployment: a replicated object store whose
+// contents survive node revocations (EBS volumes are durable network disks),
+// with bandwidth-modelled writes and reads. Writers pay `bytes /
+// write_bandwidth` of wall time and readers `bytes / read_bandwidth`; the
+// replication factor multiplies write traffic. Objects are type-erased
+// (shared_ptr<const void> + size) so the engine can store partition objects
+// without a serialization layer, while raw-byte files are also supported for
+// workload inputs.
+
+#ifndef SRC_DFS_DFS_H_
+#define SRC_DFS_DFS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace flint {
+
+struct DfsConfig {
+  int replication = 3;
+  // Effective per-writer bandwidths, in bytes of logical data per second.
+  // Replication traffic is charged on top of these.
+  double write_bandwidth_bytes_per_s = 256.0 * kMiB;
+  double read_bandwidth_bytes_per_s = 512.0 * kMiB;
+  // EBS-style storage price, $/GB/month (Sec 4: $0.10/GB/month SSD EBS).
+  double storage_price_gb_month = 0.10;
+};
+
+// One stored object.
+struct DfsObject {
+  std::shared_ptr<const void> data;
+  uint64_t size_bytes = 0;
+};
+
+class Dfs {
+ public:
+  explicit Dfs(DfsConfig config) : config_(config) {}
+
+  const DfsConfig& config() const { return config_; }
+
+  // Stores (or overwrites) `path`. Sleeps to model replicated write cost.
+  Status Put(const std::string& path, DfsObject object);
+
+  // Fetches `path`, sleeping to model the read. NotFound if missing.
+  Result<DfsObject> Get(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+
+  // Deletes every object whose path starts with `prefix`; returns the count.
+  size_t DeletePrefix(const std::string& prefix);
+
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // Current logical bytes stored (before replication).
+  uint64_t TotalBytes() const;
+  // Peak logical bytes ever stored; drives the storage-cost model.
+  uint64_t PeakBytes() const;
+  uint64_t NumObjects() const;
+
+  // Aggregate bytes pushed through Put / pulled through Get since creation.
+  uint64_t BytesWritten() const { return bytes_written_.load(); }
+  uint64_t BytesRead() const { return bytes_read_.load(); }
+
+  // Monthly storage cost at peak occupancy, including replication.
+  double MonthlyStorageCost() const;
+
+  // Test hook: disable the modelled sleeps (unit tests shouldn't wait).
+  void set_model_latency(bool enabled) { model_latency_ = enabled; }
+
+ private:
+  void ChargeWrite(uint64_t bytes) const;
+  void ChargeRead(uint64_t bytes) const;
+
+  DfsConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, DfsObject> objects_;
+  uint64_t total_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
+  mutable std::atomic<uint64_t> bytes_written_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  bool model_latency_ = true;
+};
+
+// Helper to wrap a vector<T> as a DfsObject (shares ownership).
+template <typename T>
+DfsObject MakeDfsObject(std::shared_ptr<const std::vector<T>> vec) {
+  DfsObject obj;
+  obj.size_bytes = vec->size() * sizeof(T);
+  obj.data = std::shared_ptr<const void>(vec, vec.get());
+  return obj;
+}
+
+}  // namespace flint
+
+#endif  // SRC_DFS_DFS_H_

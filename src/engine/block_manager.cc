@@ -1,0 +1,168 @@
+#include "src/engine/block_manager.h"
+
+#include <thread>
+
+#include "src/common/units.h"
+
+namespace flint {
+
+void BlockManager::ChargeDisk(uint64_t bytes) const {
+  if (!config_.model_latency || config_.disk_bandwidth_bytes_per_s <= 0.0) {
+    return;
+  }
+  std::this_thread::sleep_for(
+      WallDuration(static_cast<double>(bytes) / config_.disk_bandwidth_bytes_per_s));
+}
+
+std::vector<BlockEviction> BlockManager::Put(const BlockKey& key, PartitionPtr data,
+                                             bool* stored) {
+  std::vector<BlockEviction> evictions;
+  const uint64_t size = data->SizeBytes();
+  uint64_t spill_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size > config_.memory_budget_bytes) {
+      if (stored != nullptr) {
+        *stored = false;
+      }
+      return evictions;
+    }
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      // Refresh existing entry.
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      it->second.data = std::move(data);
+      if (stored != nullptr) {
+        *stored = true;
+      }
+      return evictions;
+    }
+    EvictLocked(size, &evictions);
+    lru_.push_front(key);
+    Entry entry;
+    entry.data = std::move(data);
+    entry.size = size;
+    entry.lru_it = lru_.begin();
+    memory_.emplace(key, std::move(entry));
+    memory_used_ += size;
+    auto sit = spill_.find(key);
+    if (sit != spill_.end()) {
+      spill_used_ -= sit->second->SizeBytes();
+      spill_.erase(sit);
+    }
+    if (stored != nullptr) {
+      *stored = true;
+    }
+    for (const auto& ev : evictions) {
+      if (ev.spilled) {
+        auto sit = spill_.find(ev.key);
+        if (sit != spill_.end()) {
+          spill_bytes += sit->second->SizeBytes();
+        }
+      }
+    }
+  }
+  // Spill writes are charged outside the lock.
+  if (spill_bytes > 0) {
+    ChargeDisk(spill_bytes);
+  }
+  return evictions;
+}
+
+void BlockManager::EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions) {
+  while (memory_used_ + needed > config_.memory_budget_bytes && !lru_.empty()) {
+    const BlockKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = memory_.find(victim);
+    if (it == memory_.end()) {
+      continue;
+    }
+    memory_used_ -= it->second.size;
+    BlockEviction ev;
+    ev.key = victim;
+    if (config_.eviction == EvictionMode::kSpill) {
+      ev.spilled = true;
+      spill_used_ += it->second.size;
+      spill_[victim] = std::move(it->second.data);
+    }
+    memory_.erase(it);
+    evictions->push_back(ev);
+  }
+}
+
+PartitionPtr BlockManager::Get(const BlockKey& key) {
+  PartitionPtr from_spill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      return it->second.data;
+    }
+    auto sit = spill_.find(key);
+    if (sit == spill_.end()) {
+      return nullptr;
+    }
+    from_spill = sit->second;
+  }
+  // Pay the disk read; then promote back into memory (may evict others).
+  // Put() removes the spill copy with correct accounting when it stores.
+  ChargeDisk(from_spill->SizeBytes());
+  Put(key, from_spill, nullptr);
+  return from_spill;
+}
+
+bool BlockManager::Contains(const BlockKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.count(key) > 0 || spill_.count(key) > 0;
+}
+
+void BlockManager::Erase(const BlockKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memory_.find(key);
+  if (it != memory_.end()) {
+    memory_used_ -= it->second.size;
+    lru_.erase(it->second.lru_it);
+    memory_.erase(it);
+  }
+  auto sit = spill_.find(key);
+  if (sit != spill_.end()) {
+    spill_used_ -= sit->second->SizeBytes();
+    spill_.erase(sit);
+  }
+}
+
+void BlockManager::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_.clear();
+  spill_.clear();
+  lru_.clear();
+  memory_used_ = 0;
+  spill_used_ = 0;
+}
+
+uint64_t BlockManager::memory_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_used_;
+}
+
+uint64_t BlockManager::spill_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spill_used_;
+}
+
+size_t BlockManager::num_memory_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.size();
+}
+
+size_t BlockManager::num_spill_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spill_.size();
+}
+
+}  // namespace flint

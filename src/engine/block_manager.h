@@ -1,0 +1,101 @@
+// Per-node RDD cache, mirroring Spark's block manager: bounded memory budget,
+// LRU eviction, optional spill to node-local disk (lost on revocation, like
+// EC2 instance storage). One BlockManager exists per live node; the
+// cluster-wide index of which node caches which partition lives in
+// FlintContext's BlockRegistry.
+
+#ifndef SRC_ENGINE_BLOCK_MANAGER_H_
+#define SRC_ENGINE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/engine/partition.h"
+
+namespace flint {
+
+struct BlockKey {
+  int rdd_id = -1;
+  int partition = -1;
+  bool operator==(const BlockKey& o) const {
+    return rdd_id == o.rdd_id && partition == o.partition;
+  }
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    return std::hash<int>()(k.rdd_id) * 1000003u + std::hash<int>()(k.partition);
+  }
+};
+
+// What to do when the memory budget is exceeded (Spark storage levels).
+enum class EvictionMode {
+  kDrop,   // MEMORY_ONLY: evicted partitions are recomputed on next access
+  kSpill,  // MEMORY_AND_DISK: evicted partitions move to node-local disk
+};
+
+struct BlockManagerConfig {
+  uint64_t memory_budget_bytes = 256 * kMiB;
+  EvictionMode eviction = EvictionMode::kDrop;
+  // Node-local disk bandwidth for spill reads/writes (models SSD instance
+  // storage). Reads from spilled blocks sleep size/bandwidth.
+  double disk_bandwidth_bytes_per_s = 400.0 * kMiB;
+  bool model_latency = true;
+};
+
+struct BlockEviction {
+  BlockKey key;
+  bool spilled = false;  // false: dropped entirely
+};
+
+class BlockManager {
+ public:
+  explicit BlockManager(BlockManagerConfig config) : config_(config) {}
+
+  // Inserts a block, evicting LRU blocks if needed. Returns the evictions
+  // performed so the caller can update the cluster-wide registry. Blocks
+  // larger than the whole budget are not cached at all (key is returned as a
+  // drop so callers see a consistent "not stored" signal via found=false).
+  std::vector<BlockEviction> Put(const BlockKey& key, PartitionPtr data, bool* stored);
+
+  // Fetches a block from memory, or from local spill (paying the modelled
+  // disk read and promoting it back to memory). nullptr if absent.
+  PartitionPtr Get(const BlockKey& key);
+
+  bool Contains(const BlockKey& key) const;
+  void Erase(const BlockKey& key);
+  void Clear();
+
+  uint64_t memory_used() const;
+  uint64_t spill_used() const;
+  size_t num_memory_blocks() const;
+  size_t num_spill_blocks() const;
+
+ private:
+  struct Entry {
+    PartitionPtr data;
+    uint64_t size = 0;
+    std::list<BlockKey>::iterator lru_it;
+  };
+
+  // Evicts until `needed` bytes fit. Caller holds mutex_.
+  void EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions);
+  void ChargeDisk(uint64_t bytes) const;
+
+  BlockManagerConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> memory_;
+  std::unordered_map<BlockKey, PartitionPtr, BlockKeyHash> spill_;
+  std::list<BlockKey> lru_;  // front = most recent
+  uint64_t memory_used_ = 0;
+  uint64_t spill_used_ = 0;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_BLOCK_MANAGER_H_

@@ -1,0 +1,453 @@
+#include "src/engine/context.h"
+
+#include <thread>
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/engine/dag_scheduler.h"
+#include "src/engine/lambda_rdd.h"
+#include "src/engine/task_context.h"
+
+namespace flint {
+
+FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig config)
+    : cluster_(cluster), dfs_(dfs), config_(config) {
+  scheduler_ = std::make_unique<DagScheduler>(this);
+  cluster_->SetListener(this);
+}
+
+FlintContext::~FlintContext() {
+  // Stop receiving lifecycle events, then let node pools drain. Pools are
+  // waited on outside nodes_mutex_ because in-flight tasks take that lock.
+  cluster_->DrainEvents();
+  std::vector<std::shared_ptr<NodeState>> all;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    for (auto& [id, node] : nodes_) {
+      all.push_back(node);
+    }
+    for (auto& node : retired_) {
+      all.push_back(node);
+    }
+  }
+  for (auto& node : all) {
+    node->pool->Wait();
+  }
+}
+
+int FlintContext::NextRddId() { return next_rdd_id_.fetch_add(1, std::memory_order_relaxed); }
+
+int FlintContext::NextShuffleId() {
+  return next_shuffle_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RddPtr FlintContext::CreateRdd(std::string name, int num_partitions,
+                               std::vector<Dependency> deps,
+                               std::function<Result<PartitionPtr>(int, TaskContext&)> fn) {
+  auto rdd = std::make_shared<LambdaRdd>(this, std::move(name), num_partitions, std::move(deps),
+                                         std::move(fn));
+  {
+    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    rdds_[rdd->id()] = rdd;
+  }
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnRddCreated(rdd);
+  }
+  return rdd;
+}
+
+void FlintContext::RegisterShuffleInfo(const std::shared_ptr<ShuffleInfo>& info) {
+  {
+    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    shuffle_infos_[info->shuffle_id] = info;
+  }
+  shuffle_mgr_.RegisterShuffle(info->shuffle_id, info->num_map_partitions,
+                               info->num_reduce_partitions);
+}
+
+std::shared_ptr<ShuffleInfo> FlintContext::LookupShuffle(int shuffle_id) const {
+  std::lock_guard<std::mutex> lock(rdd_mutex_);
+  auto it = shuffle_infos_.find(shuffle_id);
+  if (it == shuffle_infos_.end()) {
+    return nullptr;
+  }
+  return it->second.lock();
+}
+
+void FlintContext::AddObserver(EngineObserver* observer) {
+  std::lock_guard<std::mutex> lock(observers_mutex_);
+  observers_.push_back(observer);
+}
+
+void FlintContext::RemoveObserver(EngineObserver* observer) {
+  std::lock_guard<std::mutex> lock(observers_mutex_);
+  std::erase(observers_, observer);
+}
+
+std::vector<EngineObserver*> FlintContext::ObserversSnapshot() const {
+  std::lock_guard<std::mutex> lock(observers_mutex_);
+  return observers_;
+}
+
+Result<std::vector<PartitionPtr>> FlintContext::Materialize(const RddPtr& rdd) {
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  return scheduler_->Materialize(rdd);
+}
+
+// --- block registry ---
+
+PartitionPtr FlintContext::LookupBlock(const BlockKey& key, NodeId local) {
+  std::vector<NodeId> locations;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = block_locations_.find(key);
+    if (it == block_locations_.end()) {
+      return nullptr;
+    }
+    locations = it->second;
+  }
+  // Prefer the local replica.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (NodeId n : locations) {
+      const bool is_local = (n == local);
+      if ((pass == 0) != is_local) {
+        continue;
+      }
+      std::shared_ptr<NodeState> node = GetNodeState(n);
+      if (node == nullptr || node->revoked.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (PartitionPtr data = node->blocks->Get(key); data != nullptr) {
+        if (!is_local && config_.model_latency &&
+            config_.remote_fetch_bandwidth_bytes_per_s > 0.0) {
+          std::this_thread::sleep_for(WallDuration(static_cast<double>(data->SizeBytes()) /
+                                                   config_.remote_fetch_bandwidth_bytes_per_s));
+        }
+        return data;
+      }
+      // Stale location (evicted): clean it up.
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      auto it = block_locations_.find(key);
+      if (it != block_locations_.end()) {
+        std::erase(it->second, n);
+        if (it->second.empty()) {
+          block_locations_.erase(it);
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+void FlintContext::StoreBlock(const BlockKey& key, NodeId node_id, PartitionPtr data) {
+  std::shared_ptr<NodeState> node = GetNodeState(node_id);
+  if (node == nullptr || node->revoked.load(std::memory_order_acquire)) {
+    return;
+  }
+  bool stored = false;
+  std::vector<BlockEviction> evictions = node->blocks->Put(key, std::move(data), &stored);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& ev : evictions) {
+    if (!ev.spilled) {
+      auto it = block_locations_.find(ev.key);
+      if (it != block_locations_.end()) {
+        std::erase(it->second, node_id);
+        if (it->second.empty()) {
+          block_locations_.erase(it);
+        }
+      }
+    }
+    // Spilled blocks stay addressable on this node.
+  }
+  if (stored) {
+    auto& locations = block_locations_[key];
+    bool present = false;
+    for (NodeId n : locations) {
+      if (n == node_id) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      locations.push_back(node_id);
+    }
+  }
+}
+
+bool FlintContext::BlockAvailable(const BlockKey& key) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = block_locations_.find(key);
+  return it != block_locations_.end() && !it->second.empty();
+}
+
+std::vector<std::pair<BlockKey, NodeId>> FlintContext::BlockRegistrySnapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::pair<BlockKey, NodeId>> out;
+  out.reserve(block_locations_.size());
+  for (const auto& [key, nodes] : block_locations_) {
+    if (!nodes.empty()) {
+      out.emplace_back(key, nodes.front());
+    }
+  }
+  return out;
+}
+
+void FlintContext::UnpersistRdd(const RddPtr& rdd) {
+  if (rdd == nullptr) {
+    return;
+  }
+  rdd->set_cache(false);
+  std::vector<std::shared_ptr<NodeState>> nodes = LiveNodeStates();
+  for (int p = 0; p < rdd->num_partitions(); ++p) {
+    const BlockKey key{rdd->id(), p};
+    for (const auto& node : nodes) {
+      node->blocks->Erase(key);
+    }
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    block_locations_.erase(key);
+  }
+}
+
+bool FlintContext::AllPartitionsAvailable(const RddPtr& rdd) const {
+  if (rdd->checkpoint_state() == CheckpointState::kSaved) {
+    return true;
+  }
+  for (int p = 0; p < rdd->num_partitions(); ++p) {
+    if (!BlockAvailable(BlockKey{rdd->id(), p})) {
+      return false;
+    }
+  }
+  return rdd->num_partitions() > 0;
+}
+
+// --- nodes ---
+
+std::vector<std::shared_ptr<NodeState>> FlintContext::LiveNodeStates() const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  std::vector<std::shared_ptr<NodeState>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    if (!node->revoked.load(std::memory_order_acquire)) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    return it->second;
+  }
+  for (const auto& node : retired_) {
+    if (node->info.node_id == id) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void FlintContext::DrainExecutors() {
+  std::vector<std::shared_ptr<NodeState>> all;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    for (auto& [id, node] : nodes_) {
+      all.push_back(node);
+    }
+    for (auto& node : retired_) {
+      all.push_back(node);
+    }
+  }
+  for (auto& node : all) {
+    node->pool->Wait();
+  }
+}
+
+void FlintContext::WaitForLiveNode() {
+  const auto t0 = WallClock::now();
+  std::unique_lock<std::mutex> lock(nodes_mutex_);
+  node_added_cv_.wait(lock, [this] {
+    for (const auto& [id, node] : nodes_) {
+      if (!node->revoked.load(std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  });
+  counters_.acquisition_wait_nanos.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0).count(),
+      std::memory_order_relaxed);
+}
+
+// --- checkpoint plumbing ---
+
+Status FlintContext::WriteCheckpointData(const RddPtr& rdd, int partition, PartitionPtr data) {
+  const std::string path = rdd->CheckpointPath(partition);
+  const auto t0 = WallClock::now();
+  DfsObject obj;
+  obj.size_bytes = data->SizeBytes();
+  obj.data = std::static_pointer_cast<const void>(data);
+  FLINT_RETURN_IF_ERROR(dfs_->Put(path, std::move(obj)));
+  const double seconds = WallDuration(WallClock::now() - t0).count();
+  counters_.checkpoint_writes.fetch_add(1, std::memory_order_relaxed);
+  counters_.checkpoint_bytes.fetch_add(data->SizeBytes(), std::memory_order_relaxed);
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnCheckpointWritten(rdd, partition, data->SizeBytes(), seconds);
+  }
+  return Status::Ok();
+}
+
+Status FlintContext::WriteCheckpointNow(const RddPtr& rdd, int partition, TaskContext& tc) {
+  const std::string path = rdd->CheckpointPath(partition);
+  if (dfs_->Exists(path)) {
+    return Status::Ok();
+  }
+  FLINT_ASSIGN_OR_RETURN(PartitionPtr data, tc.GetPartition(rdd, partition));
+  if (dfs_->Exists(path)) {
+    return Status::Ok();  // a concurrent at-compute write beat us to it
+  }
+  return WriteCheckpointData(rdd, partition, std::move(data));
+}
+
+Status FlintContext::EnqueueCheckpointWriteWithData(const RddPtr& rdd, int partition,
+                                                    PartitionPtr data) {
+  auto live = LiveNodeStates();
+  if (live.empty()) {
+    return Unavailable("no live node for checkpoint write");
+  }
+  const size_t pick = static_cast<size_t>(round_robin_.fetch_add(1, std::memory_order_relaxed)) %
+                      live.size();
+  std::shared_ptr<NodeState> node = live[pick];
+  const bool queued = node->pool->Submit([this, rdd, partition, data = std::move(data)] {
+    if (dfs_->Exists(rdd->CheckpointPath(partition))) {
+      return;
+    }
+    Status st = WriteCheckpointData(rdd, partition, data);
+    if (!st.ok()) {
+      FLINT_WLOG() << "checkpoint write failed: " << st.ToString();
+    }
+  });
+  if (!queued) {
+    return Unavailable("node pool shutting down");
+  }
+  return Status::Ok();
+}
+
+Status FlintContext::EnqueueCheckpointWrite(const RddPtr& rdd, int partition) {
+  // Pick any live node's executor; checkpoint tasks consume the same CPU/IO
+  // the paper's checkpointing tasks do.
+  auto live = LiveNodeStates();
+  if (live.empty()) {
+    return Unavailable("no live node for checkpoint write");
+  }
+  const size_t pick = static_cast<size_t>(round_robin_.fetch_add(1, std::memory_order_relaxed)) %
+                      live.size();
+  std::shared_ptr<NodeState> node = live[pick];
+  const bool queued = node->pool->Submit([this, rdd, partition, node] {
+    TaskContext tc(this, node);
+    Status st = WriteCheckpointNow(rdd, partition, tc);
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+      FLINT_WLOG() << "checkpoint write failed: " << st.ToString();
+    }
+  });
+  if (!queued) {
+    return Unavailable("node pool shutting down");
+  }
+  return Status::Ok();
+}
+
+void FlintContext::NotifyPartitionComputed(const RddPtr& rdd, int partition, double seconds) {
+  counters_.partitions_computed.fetch_add(1, std::memory_order_relaxed);
+  counters_.compute_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                                    std::memory_order_relaxed);
+  bool first_full_materialization = false;
+  {
+    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    auto& counts = computed_counts_[rdd->id()];
+    int& c = counts[partition];
+    ++c;
+    if (c > 1) {
+      counters_.partitions_recomputed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (static_cast<int>(counts.size()) == rdd->num_partitions() &&
+        materialized_fired_.insert(rdd->id()).second) {
+      first_full_materialization = true;
+    }
+  }
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnPartitionComputed(rdd, partition, seconds);
+    if (first_full_materialization) {
+      obs->OnRddMaterialized(rdd);
+    }
+  }
+}
+
+void FlintContext::ChargeOriginRead(uint64_t bytes) const {
+  if (!config_.model_latency || config_.origin_read_bandwidth_bytes_per_s <= 0.0) {
+    return;
+  }
+  std::this_thread::sleep_for(
+      WallDuration(static_cast<double>(bytes) / config_.origin_read_bandwidth_bytes_per_s));
+}
+
+// --- ClusterListener ---
+
+void FlintContext::OnNodeAdded(const NodeInfo& info) {
+  auto node = std::make_shared<NodeState>();
+  node->info = info;
+  BlockManagerConfig bm = config_.block_defaults;
+  bm.memory_budget_bytes = info.memory_budget_bytes;
+  node->blocks = std::make_unique<BlockManager>(bm);
+  node->pool = std::make_unique<ThreadPool>(static_cast<size_t>(info.executor_threads));
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    nodes_[info.node_id] = std::move(node);
+  }
+  node_added_cv_.notify_all();
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnNodeAdded(info);
+  }
+}
+
+void FlintContext::OnNodeWarning(const NodeInfo& info) {
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnNodeWarning(info);
+  }
+}
+
+void FlintContext::OnNodeRevoked(const NodeInfo& info) {
+  std::shared_ptr<NodeState> node;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    auto it = nodes_.find(info.node_id);
+    if (it != nodes_.end()) {
+      node = it->second;
+      nodes_.erase(it);
+      retired_.push_back(node);
+    }
+  }
+  if (node != nullptr) {
+    node->revoked.store(true, std::memory_order_release);
+    node->blocks->Clear();
+  }
+  // Remove the node from the block registry and shuffle outputs: its memory
+  // and local disk are gone.
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (auto it = block_locations_.begin(); it != block_locations_.end();) {
+      std::erase(it->second, info.node_id);
+      if (it->second.empty()) {
+        it = block_locations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  shuffle_mgr_.OnNodeRevoked(info.node_id);
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnNodeRevoked(info);
+  }
+}
+
+}  // namespace flint

@@ -1,0 +1,190 @@
+// FlintContext: the engine's driver-side hub. It owns per-node execution
+// state (block manager + executor pool), the cluster-wide block registry, the
+// shuffle manager, RDD/shuffle registries, counters, and the DAG scheduler.
+// It subscribes to the ClusterManager for node lifecycle and fans events out
+// to registered EngineObservers (fault-tolerance manager, node manager).
+
+#ifndef SRC_ENGINE_CONTEXT_H_
+#define SRC_ENGINE_CONTEXT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/dfs/dfs.h"
+#include "src/engine/block_manager.h"
+#include "src/engine/observer.h"
+#include "src/engine/rdd.h"
+#include "src/engine/shuffle_manager.h"
+
+namespace flint {
+
+class TaskContext;
+class DagScheduler;
+
+struct EngineConfig {
+  BlockManagerConfig block_defaults;
+  // Cross-node cache reads pay bytes/bandwidth (cluster network).
+  double remote_fetch_bandwidth_bytes_per_s = 512.0 * kMiB;
+  // Recomputing a source partition re-reads origin data (the paper's S3
+  // re-fetch + re-partition + deserialize path, Sec 5.4). Source RDD computes
+  // pay bytes/bandwidth on top of generation compute.
+  double origin_read_bandwidth_bytes_per_s = 48.0 * kMiB;
+  bool model_latency = true;
+};
+
+// Monotonic counters for experiment reporting. All fields are cumulative
+// since context creation.
+struct EngineCounters {
+  std::atomic<uint64_t> tasks_run{0};
+  std::atomic<uint64_t> task_failures{0};
+  std::atomic<uint64_t> partitions_computed{0};
+  std::atomic<uint64_t> partitions_recomputed{0};  // computed more than once
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> checkpoint_writes{0};
+  std::atomic<uint64_t> checkpoint_bytes{0};
+  std::atomic<uint64_t> checkpoint_reads{0};
+  std::atomic<int64_t> compute_nanos{0};
+  std::atomic<int64_t> acquisition_wait_nanos{0};  // scheduler stalls with zero live nodes
+};
+
+// Engine-side state of one node. Retired (revoked) nodes are kept until
+// context destruction so in-flight tasks can finish failing gracefully.
+struct NodeState {
+  NodeInfo info;
+  std::unique_ptr<BlockManager> blocks;
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<bool> revoked{false};
+};
+
+class FlintContext : public ClusterListener {
+ public:
+  FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig config);
+  ~FlintContext() override;
+
+  FlintContext(const FlintContext&) = delete;
+  FlintContext& operator=(const FlintContext&) = delete;
+
+  ClusterManager& cluster() { return *cluster_; }
+  Dfs& dfs() { return *dfs_; }
+  ShuffleManager& shuffles() { return shuffle_mgr_; }
+  const EngineConfig& config() const { return config_; }
+  EngineCounters& counters() { return counters_; }
+
+  // --- RDD registry ---
+  RddPtr CreateRdd(std::string name, int num_partitions, std::vector<Dependency> deps,
+                   std::function<Result<PartitionPtr>(int, TaskContext&)> fn);
+  int NextShuffleId();
+  void RegisterShuffleInfo(const std::shared_ptr<ShuffleInfo>& info);
+  std::shared_ptr<ShuffleInfo> LookupShuffle(int shuffle_id) const;
+  int NextRddId();
+
+  // --- observers ---
+  void AddObserver(EngineObserver* observer);
+  void RemoveObserver(EngineObserver* observer);
+
+  // --- job execution ---
+  // Computes every partition of `rdd` (running all required shuffle stages),
+  // returning them in partition order. Thread-safe; jobs are serialized.
+  Result<std::vector<PartitionPtr>> Materialize(const RddPtr& rdd);
+
+  // --- block registry (cluster-wide cache index) ---
+  // Looks the block up anywhere in the cluster; charges a remote-fetch delay
+  // when served from a node other than `local`. Returns nullptr on miss.
+  PartitionPtr LookupBlock(const BlockKey& key, NodeId local);
+  // Stores the block on `node`, updating the registry (including evictions).
+  void StoreBlock(const BlockKey& key, NodeId node, PartitionPtr data);
+  bool BlockAvailable(const BlockKey& key) const;
+  // Snapshot of every cached block and one node holding it (for the
+  // systems-level checkpointing baseline, which persists the whole cache).
+  std::vector<std::pair<BlockKey, NodeId>> BlockRegistrySnapshot() const;
+  // Spark's unpersist(): clears the caching hint and drops every cached
+  // partition of `rdd` cluster-wide. Future accesses recompute from lineage.
+  void UnpersistRdd(const RddPtr& rdd);
+  // True if every partition of `rdd` is either cached somewhere or the RDD's
+  // checkpoint is saved — i.e. lineage below it need not be computed.
+  bool AllPartitionsAvailable(const RddPtr& rdd) const;
+
+  // --- node access for the scheduler / checkpointing ---
+  std::vector<std::shared_ptr<NodeState>> LiveNodeStates() const;
+  std::shared_ptr<NodeState> GetNodeState(NodeId id) const;
+  // Blocks until at least one live node exists; accumulates acquisition wait.
+  void WaitForLiveNode();
+  // Blocks until every executor pool (live and retired) is idle. Observers
+  // must call this before unregistering so no in-flight task can reach them.
+  void DrainExecutors();
+
+  // Asynchronously ensures (rdd, partition) is durably checkpointed: computes
+  // the partition if necessary on some executor, writes it to the DFS, and
+  // fires OnCheckpointWritten. Used by the fault-tolerance manager.
+  Status EnqueueCheckpointWrite(const RddPtr& rdd, int partition);
+
+  // Fast path used at task completion: the computed partition is in hand, so
+  // the async write needs no recomputation.
+  Status EnqueueCheckpointWriteWithData(const RddPtr& rdd, int partition, PartitionPtr data);
+
+  // Synchronous variant used on the revocation-warning path.
+  Status WriteCheckpointNow(const RddPtr& rdd, int partition, TaskContext& tc);
+  // Writes `data` directly and fires OnCheckpointWritten. Observers treat the
+  // notification idempotently (a racing pair of writers may both notify).
+  Status WriteCheckpointData(const RddPtr& rdd, int partition, PartitionPtr data);
+
+  // --- event plumbing (called from TaskContext / scheduler) ---
+  void NotifyPartitionComputed(const RddPtr& rdd, int partition, double seconds);
+  void ChargeOriginRead(uint64_t bytes) const;
+
+  // ClusterListener:
+  void OnNodeAdded(const NodeInfo& node) override;
+  void OnNodeWarning(const NodeInfo& node) override;
+  void OnNodeRevoked(const NodeInfo& node) override;
+
+ private:
+  friend class DagScheduler;
+
+  std::vector<EngineObserver*> ObserversSnapshot() const;
+
+  ClusterManager* cluster_;
+  Dfs* dfs_;
+  EngineConfig config_;
+  ShuffleManager shuffle_mgr_;
+  EngineCounters counters_;
+
+  mutable std::mutex nodes_mutex_;
+  std::condition_variable node_added_cv_;
+  std::unordered_map<NodeId, std::shared_ptr<NodeState>> nodes_;  // live
+  std::vector<std::shared_ptr<NodeState>> retired_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<BlockKey, std::vector<NodeId>, BlockKeyHash> block_locations_;
+
+  mutable std::mutex rdd_mutex_;
+  std::atomic<int> next_rdd_id_{0};
+  std::atomic<int> next_shuffle_id_{0};
+  std::unordered_map<int, std::weak_ptr<ShuffleInfo>> shuffle_infos_;
+  // Partitions computed at least once, per RDD; drives OnRddMaterialized and
+  // the recompute counter.
+  std::unordered_map<int, std::unordered_map<int, int>> computed_counts_;
+  std::unordered_map<int, std::weak_ptr<Rdd>> rdds_;
+  std::unordered_set<int> materialized_fired_;
+
+  mutable std::mutex observers_mutex_;
+  std::vector<EngineObserver*> observers_;
+
+  std::mutex job_mutex_;  // one job at a time
+  std::unique_ptr<DagScheduler> scheduler_;
+  std::atomic<int> round_robin_{0};
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_CONTEXT_H_

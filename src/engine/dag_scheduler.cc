@@ -1,0 +1,264 @@
+#include "src/engine/dag_scheduler.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/common/log.h"
+#include "src/engine/context.h"
+#include "src/engine/task_context.h"
+
+namespace flint {
+
+namespace {
+
+// Collects task outcomes from executor threads back to the scheduler.
+class OutcomeQueue {
+ public:
+  void Push(DagScheduler::TaskOutcome outcome);
+  DagScheduler::TaskOutcome Pop();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<DagScheduler::TaskOutcome> queue_;
+};
+
+}  // namespace
+
+// OutcomeQueue is declared in an anonymous namespace but needs TaskOutcome
+// public; give the scheduler a friend-free path by defining methods here.
+void OutcomeQueue::Push(DagScheduler::TaskOutcome outcome) {
+  // Notify while holding the lock: the scheduler destroys this queue as soon
+  // as it has popped the final outcome, so the notify must complete before
+  // the popper can observe the push.
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(outcome));
+  cv_.notify_one();
+}
+
+DagScheduler::TaskOutcome OutcomeQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  DagScheduler::TaskOutcome outcome = std::move(queue_.front());
+  queue_.pop_front();
+  return outcome;
+}
+
+std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partition) {
+  for (;;) {
+    auto live = ctx_->LiveNodeStates();
+    if (live.empty()) {
+      // Whole cluster revoked: park until the node manager replaces servers.
+      ctx_->WaitForLiveNode();
+      continue;
+    }
+    // Locality: prefer a node already caching this partition.
+    const BlockKey key{rdd->id(), partition};
+    for (const auto& node : live) {
+      if (node->blocks->Contains(key)) {
+        return node;
+      }
+    }
+    const size_t pick =
+        static_cast<size_t>(ctx_->round_robin_.fetch_add(1, std::memory_order_relaxed)) %
+        live.size();
+    return live[pick];
+  }
+}
+
+Status DagScheduler::EnsureShuffleDeps(const RddPtr& rdd, int depth) {
+  if (depth > kMaxRecoveryDepth) {
+    return Internal("stage recursion too deep (cyclic lineage?)");
+  }
+  for (const auto& shuffle : CollectDirectShuffleDeps(rdd)) {
+    FLINT_RETURN_IF_ERROR(RunShuffleStage(shuffle, depth + 1));
+  }
+  return Status::Ok();
+}
+
+Status DagScheduler::RecoverShuffle(int shuffle_id, int depth) {
+  std::shared_ptr<ShuffleInfo> shuffle = ctx_->LookupShuffle(shuffle_id);
+  if (shuffle == nullptr) {
+    return Internal("fetch failure references unknown shuffle " + std::to_string(shuffle_id));
+  }
+  return RunShuffleStage(shuffle, depth);
+}
+
+Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle, int depth) {
+  if (depth > kMaxRecoveryDepth) {
+    return Internal("stage recursion too deep");
+  }
+  RddPtr map_rdd = shuffle->map_side.lock();
+  if (map_rdd == nullptr) {
+    return Internal("map-side RDD of shuffle " + std::to_string(shuffle->shuffle_id) +
+                    " no longer exists");
+  }
+  ShuffleManager& shuffles = ctx_->shuffles();
+
+  for (int attempt = 0;; ++attempt) {
+    std::vector<int> missing = shuffles.MissingMaps(shuffle->shuffle_id);
+    if (missing.empty()) {
+      return Status::Ok();
+    }
+    if (attempt > 4 * kMaxRecoveryDepth) {
+      return Internal("shuffle stage failed to converge");
+    }
+    // The map tasks themselves read lineage below; make sure *their* shuffle
+    // inputs exist before dispatching.
+    FLINT_RETURN_IF_ERROR(EnsureShuffleDeps(map_rdd, depth + 1));
+
+    OutcomeQueue outcomes;
+    size_t in_flight = 0;
+    for (int m : missing) {
+      std::shared_ptr<NodeState> node = PickNode(map_rdd, m);
+      const int shuffle_id = shuffle->shuffle_id;
+      const int num_buckets = shuffle->num_reduce_partitions;
+      ShuffleBucketer bucketer = shuffle->bucketer;
+      ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
+      const bool queued = node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets,
+                                              bucketer, &outcomes] {
+        TaskContext tc(ctx_, node);
+        TaskOutcome outcome;
+        outcome.index = m;
+        Result<PartitionPtr> input = tc.GetPartition(map_rdd, m);
+        if (!input.ok()) {
+          outcome.status = input.status();
+          outcome.failed_shuffle = tc.failed_shuffle();
+          outcomes.Push(std::move(outcome));
+          return;
+        }
+        std::vector<PartitionPtr> buckets = bucketer(*input.value(), num_buckets);
+        if (tc.Cancelled()) {
+          outcome.status = Unavailable("node revoked during shuffle write");
+          outcomes.Push(std::move(outcome));
+          return;
+        }
+        ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets));
+        outcome.status = Status::Ok();
+        outcomes.Push(std::move(outcome));
+      });
+      if (queued) {
+        ++in_flight;
+      }
+    }
+
+    bool need_recovery = false;
+    int recovery_shuffle = -1;
+    Status fatal;
+    for (size_t i = 0; i < in_flight; ++i) {
+      TaskOutcome outcome = outcomes.Pop();
+      if (outcome.status.ok()) {
+        continue;
+      }
+      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
+      switch (outcome.status.code()) {
+        case StatusCode::kUnavailable:
+          break;  // next attempt re-dispatches
+        case StatusCode::kDataLoss:
+          need_recovery = true;
+          recovery_shuffle = outcome.failed_shuffle;
+          break;
+        default:
+          if (fatal.ok()) {
+            fatal = outcome.status;
+          }
+          break;
+      }
+    }
+    if (!fatal.ok()) {
+      return fatal;
+    }
+    if (need_recovery && recovery_shuffle >= 0) {
+      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, depth + 1));
+    }
+  }
+}
+
+Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
+  if (rdd == nullptr) {
+    return InvalidArgument("null rdd");
+  }
+  FLINT_RETURN_IF_ERROR(EnsureShuffleDeps(rdd, 0));
+
+  const int n = rdd->num_partitions();
+  std::vector<PartitionPtr> results(static_cast<size_t>(n));
+  std::vector<bool> done(static_cast<size_t>(n), false);
+  int remaining = n;
+
+  for (int attempt = 0; remaining > 0; ++attempt) {
+    if (attempt > 8 * kMaxRecoveryDepth) {
+      return Internal("result stage failed to converge");
+    }
+    OutcomeQueue outcomes;
+    size_t in_flight = 0;
+    for (int p = 0; p < n; ++p) {
+      if (done[static_cast<size_t>(p)]) {
+        continue;
+      }
+      std::shared_ptr<NodeState> node = PickNode(rdd, p);
+      ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
+      const bool queued = node->pool->Submit([this, node, rdd, p, &outcomes] {
+        TaskContext tc(ctx_, node);
+        TaskOutcome outcome;
+        outcome.index = p;
+        Result<PartitionPtr> data = tc.GetPartition(rdd, p);
+        if (data.ok()) {
+          outcome.status = Status::Ok();
+          outcome.data = std::move(data).value();
+        } else {
+          outcome.status = data.status();
+          outcome.failed_shuffle = tc.failed_shuffle();
+        }
+        outcomes.Push(std::move(outcome));
+      });
+      if (queued) {
+        ++in_flight;
+      }
+    }
+    if (in_flight == 0) {
+      // Every pool rejected (all nodes revoked between PickNode and Submit).
+      ctx_->WaitForLiveNode();
+      continue;
+    }
+
+    bool need_recovery = false;
+    int recovery_shuffle = -1;
+    Status fatal;
+    for (size_t i = 0; i < in_flight; ++i) {
+      TaskOutcome outcome = outcomes.Pop();
+      if (outcome.status.ok()) {
+        if (!done[static_cast<size_t>(outcome.index)]) {
+          done[static_cast<size_t>(outcome.index)] = true;
+          results[static_cast<size_t>(outcome.index)] = std::move(outcome.data);
+          --remaining;
+        }
+        continue;
+      }
+      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
+      switch (outcome.status.code()) {
+        case StatusCode::kUnavailable:
+          break;
+        case StatusCode::kDataLoss:
+          need_recovery = true;
+          recovery_shuffle = outcome.failed_shuffle;
+          break;
+        default:
+          if (fatal.ok()) {
+            fatal = outcome.status;
+          }
+          break;
+      }
+    }
+    if (!fatal.ok()) {
+      return fatal;
+    }
+    if (need_recovery && recovery_shuffle >= 0) {
+      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, 0));
+    }
+  }
+  return results;
+}
+
+}  // namespace flint

@@ -1,0 +1,59 @@
+// DAG scheduler: cuts the lineage graph into stages at shuffle boundaries,
+// runs shuffle-map stages bottom-up, then the result stage, and handles the
+// two failure classes transient servers produce:
+//   - kUnavailable: the task's node was revoked mid-flight -> re-dispatch;
+//   - kDataLoss:    a shuffle input vanished with a revoked node -> re-run
+//                   the producing map stage (recursively), then retry.
+// When every node is gone (the paper's whole-cluster revocation in batch
+// mode), the scheduler parks until the node manager supplies replacements.
+
+#ifndef SRC_ENGINE_DAG_SCHEDULER_H_
+#define SRC_ENGINE_DAG_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/rdd.h"
+
+namespace flint {
+
+class FlintContext;
+struct NodeState;
+
+class DagScheduler {
+ public:
+  explicit DagScheduler(FlintContext* ctx) : ctx_(ctx) {}
+
+  // Computes all partitions of `rdd`, in order. Serialized by the caller.
+  Result<std::vector<PartitionPtr>> Materialize(const RddPtr& rdd);
+
+  // Outcome of one dispatched task (public so the completion queue in the
+  // implementation file can carry it).
+  struct TaskOutcome {
+    int index = -1;               // partition (result stage) or map partition
+    Status status;                // outcome
+    int failed_shuffle = -1;      // set when status is kDataLoss
+    PartitionPtr data;            // result-stage payload
+  };
+
+ private:
+
+  // Runs all shuffle-map stages `rdd` transitively needs.
+  Status EnsureShuffleDeps(const RddPtr& rdd, int depth);
+  // Brings one shuffle to completion (all map outputs registered).
+  Status RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle, int depth);
+  // Re-runs the producing stage of a shuffle after a fetch failure.
+  Status RecoverShuffle(int shuffle_id, int depth);
+
+  // Picks an execution node for (rdd, partition), preferring cache locality;
+  // blocks while the cluster is empty. Returns nullptr only on shutdown.
+  std::shared_ptr<NodeState> PickNode(const RddPtr& rdd, int partition);
+
+  FlintContext* ctx_;
+  static constexpr int kMaxRecoveryDepth = 64;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_DAG_SCHEDULER_H_

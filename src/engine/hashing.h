@@ -1,0 +1,44 @@
+// Hashing for shuffle keys. std::hash lacks pair/tuple support; HashOf is the
+// single customization point the shuffle bucketers use.
+
+#ifndef SRC_ENGINE_HASHING_H_
+#define SRC_ENGINE_HASHING_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace flint {
+
+inline size_t HashCombine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+template <typename T>
+size_t HashOf(const T& v) {
+  return std::hash<T>{}(v);
+}
+
+template <typename A, typename B>
+size_t HashOf(const std::pair<A, B>& p) {
+  return HashCombine(HashOf(p.first), HashOf(p.second));
+}
+
+template <typename... Ts>
+size_t HashOf(const std::tuple<Ts...>& t) {
+  size_t h = 0;
+  std::apply([&](const auto&... xs) { ((h = HashCombine(h, HashOf(xs))), ...); }, t);
+  return h;
+}
+
+// Functor form for unordered containers keyed by shuffle keys.
+template <typename K>
+struct KeyHasher {
+  size_t operator()(const K& k) const { return HashOf(k); }
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_HASHING_H_

@@ -1,0 +1,36 @@
+// The single concrete Rdd used by the typed API: its Compute delegates to a
+// closure built by the templated transformation constructors in typed_rdd.h.
+// This keeps the engine core (scheduler, block/shuffle managers) entirely
+// non-templated.
+
+#ifndef SRC_ENGINE_LAMBDA_RDD_H_
+#define SRC_ENGINE_LAMBDA_RDD_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/rdd.h"
+
+namespace flint {
+
+class LambdaRdd final : public Rdd {
+ public:
+  using ComputeFn = std::function<Result<PartitionPtr>(int index, TaskContext& tc)>;
+
+  LambdaRdd(FlintContext* ctx, std::string name, int num_partitions,
+            std::vector<Dependency> deps, ComputeFn fn)
+      : Rdd(ctx, std::move(name), num_partitions, std::move(deps)), fn_(std::move(fn)) {}
+
+  Result<PartitionPtr> Compute(int index, TaskContext& tc) const override {
+    return fn_(index, tc);
+  }
+
+ private:
+  ComputeFn fn_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_LAMBDA_RDD_H_

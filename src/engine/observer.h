@@ -1,0 +1,46 @@
+// Observation points the engine exposes to Flint's policy layers. The
+// fault-tolerance manager (checkpoint/) and the node manager (select/, core/)
+// subscribe here rather than being compiled into the engine.
+
+#ifndef SRC_ENGINE_OBSERVER_H_
+#define SRC_ENGINE_OBSERVER_H_
+
+#include "src/cluster/cluster_manager.h"
+#include "src/engine/rdd.h"
+
+namespace flint {
+
+// All callbacks may fire on executor or timer threads; implementations must
+// be thread-safe and quick.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void OnRddCreated(const RddPtr& rdd) { (void)rdd; }
+  // Every partition of `rdd` has been computed at least once.
+  virtual void OnRddMaterialized(const RddPtr& rdd) { (void)rdd; }
+  // One partition finished computing (compute_seconds excludes input fetch).
+  virtual void OnPartitionComputed(const RddPtr& rdd, int partition, double compute_seconds) {
+    (void)rdd;
+    (void)partition;
+    (void)compute_seconds;
+  }
+  // A checkpoint write for (rdd, partition) completed durably.
+  virtual void OnCheckpointWritten(const RddPtr& rdd, int partition, uint64_t bytes,
+                                   double write_seconds) {
+    (void)rdd;
+    (void)partition;
+    (void)bytes;
+    (void)write_seconds;
+  }
+  virtual void OnNodeAdded(const NodeInfo& node) { (void)node; }
+  virtual void OnNodeWarning(const NodeInfo& node) { (void)node; }
+  virtual void OnNodeRevoked(const NodeInfo& node) { (void)node; }
+
+ protected:
+  EngineObserver() = default;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_OBSERVER_H_

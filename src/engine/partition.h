@@ -1,0 +1,65 @@
+// Type-erased partition data. An RDD partition is an immutable vector of
+// records wrapped behind PartitionData so that the block manager, shuffle
+// manager, DFS, and scheduler can handle partitions of any record type.
+
+#ifndef SRC_ENGINE_PARTITION_H_
+#define SRC_ENGINE_PARTITION_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/engine/record_size.h"
+
+namespace flint {
+
+class PartitionData {
+ public:
+  virtual ~PartitionData() = default;
+  virtual uint64_t SizeBytes() const = 0;
+  virtual uint64_t NumRecords() const = 0;
+};
+
+using PartitionPtr = std::shared_ptr<const PartitionData>;
+
+template <typename T>
+class VectorPartition final : public PartitionData {
+ public:
+  explicit VectorPartition(std::vector<T> rows) : rows_(std::move(rows)) {
+    size_bytes_ = sizeof(*this);
+    for (const auto& r : rows_) {
+      size_bytes_ += RecordBytes(r);
+    }
+  }
+
+  const std::vector<T>& rows() const { return rows_; }
+  uint64_t SizeBytes() const override { return size_bytes_; }
+  uint64_t NumRecords() const override { return rows_.size(); }
+
+ private:
+  std::vector<T> rows_;
+  uint64_t size_bytes_ = 0;
+};
+
+template <typename T>
+PartitionPtr MakePartition(std::vector<T> rows) {
+  return std::make_shared<VectorPartition<T>>(std::move(rows));
+}
+
+// Typed view over a type-erased partition. The caller must know T; a mismatch
+// is a programming error caught in debug builds.
+template <typename T>
+const std::vector<T>& Rows(const PartitionData& p) {
+  assert(dynamic_cast<const VectorPartition<T>*>(&p) != nullptr && "partition type mismatch");
+  return static_cast<const VectorPartition<T>&>(p).rows();
+}
+
+template <typename T>
+const std::vector<T>& Rows(const PartitionPtr& p) {
+  return Rows<T>(*p);
+}
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_PARTITION_H_

@@ -1,0 +1,82 @@
+#include "src/engine/rdd.h"
+
+#include <unordered_set>
+
+#include "src/engine/context.h"
+
+namespace flint {
+
+Rdd::Rdd(FlintContext* ctx, std::string name, int num_partitions, std::vector<Dependency> deps)
+    : ctx_(ctx),
+      id_(ctx->NextRddId()),
+      name_(std::move(name)),
+      num_partitions_(num_partitions),
+      deps_(std::move(deps)) {}
+
+Rdd::~Rdd() = default;
+
+bool Rdd::is_shuffle_output() const {
+  for (const auto& dep : deps_) {
+    if (dep.type == DepType::kShuffle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Rdd::MarkForCheckpoint() {
+  CheckpointState expected = CheckpointState::kNone;
+  return state_.compare_exchange_strong(expected, CheckpointState::kMarked,
+                                        std::memory_order_acq_rel);
+}
+
+void Rdd::SetCheckpointSaved() {
+  state_.store(CheckpointState::kSaved, std::memory_order_release);
+}
+
+std::string Rdd::CheckpointDir() const { return "ckpt/rdd_" + std::to_string(id_) + "/"; }
+
+std::string Rdd::CheckpointPath(int partition) const {
+  return CheckpointDir() + "part_" + std::to_string(partition);
+}
+
+namespace {
+
+void CollectShuffleDepsRec(const RddPtr& rdd, std::unordered_set<int>& seen_rdds,
+                           std::vector<std::shared_ptr<ShuffleInfo>>& out) {
+  if (rdd == nullptr || !seen_rdds.insert(rdd->id()).second) {
+    return;
+  }
+  // Lineage is truncated at saved checkpoints and at RDDs whose partitions
+  // are all available in the cluster cache: nothing below them is computed.
+  FlintContext* ctx = rdd->context();
+  for (const auto& dep : rdd->deps()) {
+    if (dep.type == DepType::kShuffle) {
+      out.push_back(dep.shuffle);
+    } else if (dep.parent != nullptr) {
+      if (dep.parent->checkpoint_state() == CheckpointState::kSaved ||
+          ctx->AllPartitionsAvailable(dep.parent)) {
+        continue;
+      }
+      CollectShuffleDepsRec(dep.parent, seen_rdds, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<ShuffleInfo>> CollectDirectShuffleDeps(const RddPtr& rdd) {
+  std::vector<std::shared_ptr<ShuffleInfo>> out;
+  std::unordered_set<int> seen;
+  if (rdd == nullptr) {
+    return out;
+  }
+  if (rdd->checkpoint_state() == CheckpointState::kSaved ||
+      rdd->context()->AllPartitionsAvailable(rdd)) {
+    return out;
+  }
+  CollectShuffleDepsRec(rdd, seen, out);
+  return out;
+}
+
+}  // namespace flint

@@ -1,0 +1,102 @@
+// The lineage core: Rdd (an immutable, partitioned, lazily computed dataset),
+// its dependencies (narrow one-to-one or shuffle), and the checkpoint state
+// machine Flint's fault-tolerance manager drives.
+
+#ifndef SRC_ENGINE_RDD_H_
+#define SRC_ENGINE_RDD_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/partition.h"
+
+namespace flint {
+
+class FlintContext;
+class TaskContext;
+class Rdd;
+using RddPtr = std::shared_ptr<Rdd>;
+
+// Map-side bucketer of a shuffle: splits one parent partition into
+// `num_buckets` reduce-side buckets (hash-partitioned by key).
+using ShuffleBucketer =
+    std::function<std::vector<PartitionPtr>(const PartitionData& parent, int num_buckets)>;
+
+struct ShuffleInfo {
+  int shuffle_id = -1;
+  int num_map_partitions = 0;
+  int num_reduce_partitions = 0;
+  ShuffleBucketer bucketer;
+  // The RDD whose partitions feed the map side.
+  std::weak_ptr<Rdd> map_side;
+};
+
+enum class DepType { kNarrowOneToOne, kShuffle };
+
+struct Dependency {
+  DepType type = DepType::kNarrowOneToOne;
+  RddPtr parent;
+  std::shared_ptr<ShuffleInfo> shuffle;  // set iff type == kShuffle
+};
+
+// Checkpoint lifecycle: kNone -> kMarked (FT manager decided to checkpoint)
+// -> kSaved (every partition durably in the DFS; lineage truncated here).
+enum class CheckpointState { kNone = 0, kMarked = 1, kSaved = 2 };
+
+class Rdd : public std::enable_shared_from_this<Rdd> {
+ public:
+  Rdd(FlintContext* ctx, std::string name, int num_partitions, std::vector<Dependency> deps);
+  virtual ~Rdd();
+
+  Rdd(const Rdd&) = delete;
+  Rdd& operator=(const Rdd&) = delete;
+
+  // Computes partition `index` from parents, fetching inputs through `tc`.
+  // May fail with kDataLoss (missing shuffle input), kUnavailable (node
+  // revoked mid-task), or any error from the source.
+  virtual Result<PartitionPtr> Compute(int index, TaskContext& tc) const = 0;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int num_partitions() const { return num_partitions_; }
+  const std::vector<Dependency>& deps() const { return deps_; }
+  FlintContext* context() const { return ctx_; }
+
+  // True if any dependency is a shuffle; such RDDs get the paper's boosted
+  // checkpoint frequency (tau / #shuffled-from partitions).
+  bool is_shuffle_output() const;
+
+  // Caching hint (Spark's persist()): computed partitions are kept in the
+  // block manager. Source and shuffle RDDs benefit most.
+  bool should_cache() const { return cache_.load(std::memory_order_relaxed); }
+  void set_cache(bool v) { cache_.store(v, std::memory_order_relaxed); }
+
+  CheckpointState checkpoint_state() const { return state_.load(std::memory_order_acquire); }
+  // kNone -> kMarked. Returns false if already marked/saved.
+  bool MarkForCheckpoint();
+  // kMarked -> kSaved (all partitions written).
+  void SetCheckpointSaved();
+  std::string CheckpointDir() const;
+  std::string CheckpointPath(int partition) const;
+
+ private:
+  FlintContext* ctx_;
+  int id_;
+  std::string name_;
+  int num_partitions_;
+  std::vector<Dependency> deps_;
+  std::atomic<bool> cache_{false};
+  std::atomic<CheckpointState> state_{CheckpointState::kNone};
+};
+
+// Walks narrow dependencies transitively and returns the set of shuffle
+// dependencies directly feeding `rdd`'s stage (classic Spark stage cut).
+std::vector<std::shared_ptr<ShuffleInfo>> CollectDirectShuffleDeps(const RddPtr& rdd);
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_RDD_H_

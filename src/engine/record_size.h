@@ -1,0 +1,46 @@
+// Per-record memory accounting for partitions. The block manager's budgets
+// and the checkpoint-size estimator both rely on RecordBytes(); types with
+// out-of-line storage overload it here.
+
+#ifndef SRC_ENGINE_RECORD_SIZE_H_
+#define SRC_ENGINE_RECORD_SIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace flint {
+
+template <typename T>
+uint64_t RecordBytes(const T&) {
+  return sizeof(T);
+}
+
+inline uint64_t RecordBytes(const std::string& s) { return sizeof(std::string) + s.capacity(); }
+
+template <typename T>
+uint64_t RecordBytes(const std::vector<T>& v) {
+  uint64_t total = sizeof(std::vector<T>);
+  for (const auto& x : v) {
+    total += RecordBytes(x);
+  }
+  return total;
+}
+
+template <typename A, typename B>
+uint64_t RecordBytes(const std::pair<A, B>& p) {
+  return RecordBytes(p.first) + RecordBytes(p.second);
+}
+
+template <typename... Ts>
+uint64_t RecordBytes(const std::tuple<Ts...>& t) {
+  uint64_t total = 0;
+  std::apply([&](const auto&... xs) { ((total += RecordBytes(xs)), ...); }, t);
+  return total;
+}
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_RECORD_SIZE_H_

@@ -1,0 +1,136 @@
+#include "src/engine/shuffle_manager.h"
+
+#include <string>
+
+namespace flint {
+
+void ShuffleManager::RegisterShuffle(int shuffle_id, int num_maps, int num_reduces) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = shuffles_[shuffle_id];
+  if (state.outputs.empty()) {
+    state.num_maps = num_maps;
+    state.num_reduces = num_reduces;
+    state.outputs.resize(static_cast<size_t>(num_maps));
+  }
+}
+
+void ShuffleManager::RegisterMapOutput(int shuffle_id, int map_part, NodeId node,
+                                       std::vector<PartitionPtr> buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end() || map_part < 0 ||
+      static_cast<size_t>(map_part) >= it->second.outputs.size()) {
+    return;
+  }
+  MapOutput& out = it->second.outputs[static_cast<size_t>(map_part)];
+  out.node = node;
+  out.present = true;
+  out.buckets = std::move(buckets);
+}
+
+std::vector<int> ShuffleManager::MissingMaps(int shuffle_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> missing;
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end()) {
+    return missing;
+  }
+  for (int m = 0; m < it->second.num_maps; ++m) {
+    if (!it->second.outputs[static_cast<size_t>(m)].present) {
+      missing.push_back(m);
+    }
+  }
+  return missing;
+}
+
+bool ShuffleManager::IsComplete(int shuffle_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end()) {
+    return false;
+  }
+  for (const auto& out : it->second.outputs) {
+    if (!out.present) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int reduce_part) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end()) {
+    return DataLoss("unknown shuffle " + std::to_string(shuffle_id));
+  }
+  std::vector<PartitionPtr> buckets;
+  buckets.reserve(it->second.outputs.size());
+  for (const auto& out : it->second.outputs) {
+    if (!out.present) {
+      return DataLoss("missing map output for shuffle " + std::to_string(shuffle_id));
+    }
+    if (reduce_part < 0 || static_cast<size_t>(reduce_part) >= out.buckets.size()) {
+      return Internal("bad reduce partition " + std::to_string(reduce_part));
+    }
+    buckets.push_back(out.buckets[static_cast<size_t>(reduce_part)]);
+  }
+  return buckets;
+}
+
+void ShuffleManager::OnNodeRevoked(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, state] : shuffles_) {
+    for (auto& out : state.outputs) {
+      if (out.present && out.node == node) {
+        out.present = false;
+        out.buckets.clear();
+      }
+    }
+  }
+}
+
+uint64_t ShuffleManager::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [id, state] : shuffles_) {
+    for (const auto& out : state.outputs) {
+      for (const auto& b : out.buckets) {
+        if (b != nullptr) {
+          total += b->SizeBytes();
+        }
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t ShuffleManager::RecentShuffleBytes(int last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> ids;
+  ids.reserve(shuffles_.size());
+  for (const auto& [id, state] : shuffles_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.rbegin(), ids.rend());
+  if (static_cast<size_t>(last_n) < ids.size()) {
+    ids.resize(static_cast<size_t>(last_n));
+  }
+  uint64_t total = 0;
+  for (int id : ids) {
+    for (const auto& out : shuffles_.at(id).outputs) {
+      for (const auto& b : out.buckets) {
+        if (b != nullptr) {
+          total += b->SizeBytes();
+        }
+      }
+    }
+  }
+  return total;
+}
+
+void ShuffleManager::RemoveShuffle(int shuffle_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shuffles_.erase(shuffle_id);
+}
+
+}  // namespace flint

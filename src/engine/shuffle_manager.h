@@ -1,0 +1,72 @@
+// Shuffle output storage plus the map-output tracker. Map tasks register the
+// reduce-side buckets they produced on their node; reduce-side computations
+// fetch all buckets for their partition. Buckets live on the producing node's
+// (simulated) local storage and vanish when that node is revoked — the
+// consuming task then fails with kDataLoss and the scheduler re-runs the
+// missing map tasks, exactly like Spark's FetchFailed path.
+
+#ifndef SRC_ENGINE_SHUFFLE_MANAGER_H_
+#define SRC_ENGINE_SHUFFLE_MANAGER_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/common/status.h"
+#include "src/engine/partition.h"
+
+namespace flint {
+
+class ShuffleManager {
+ public:
+  // Declares a shuffle with M map partitions and R reduce partitions.
+  void RegisterShuffle(int shuffle_id, int num_maps, int num_reduces);
+
+  // Registers the buckets produced by map partition `map_part` on `node`.
+  // `buckets` has one entry per reduce partition.
+  void RegisterMapOutput(int shuffle_id, int map_part, NodeId node,
+                         std::vector<PartitionPtr> buckets);
+
+  // Map partitions whose output is currently missing (never produced, or
+  // produced on a node that has since been revoked). Empty => complete.
+  std::vector<int> MissingMaps(int shuffle_id) const;
+  bool IsComplete(int shuffle_id) const;
+
+  // Gathers bucket `reduce_part` from every map output. Fails with kDataLoss
+  // if any map output is missing.
+  Result<std::vector<PartitionPtr>> Fetch(int shuffle_id, int reduce_part) const;
+
+  // Drops every bucket stored on `node`.
+  void OnNodeRevoked(NodeId node);
+
+  // Total bytes of live shuffle output (for diagnostics and memory models).
+  uint64_t TotalBytes() const;
+
+  // Bytes of the `last_n` most recently registered shuffles — the "live"
+  // shuffle state a systems-level snapshot must persist (older shuffles'
+  // outputs are dead weight kept only for potential recovery).
+  uint64_t RecentShuffleBytes(int last_n) const;
+
+  // Removes all state for a shuffle (job teardown).
+  void RemoveShuffle(int shuffle_id);
+
+ private:
+  struct MapOutput {
+    NodeId node = -1;
+    bool present = false;
+    std::vector<PartitionPtr> buckets;
+  };
+  struct ShuffleState {
+    int num_maps = 0;
+    int num_reduces = 0;
+    std::vector<MapOutput> outputs;  // indexed by map partition
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<int, ShuffleState> shuffles_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_SHUFFLE_MANAGER_H_

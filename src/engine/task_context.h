@@ -1,0 +1,47 @@
+// TaskContext: the per-task handle through which RDD computations fetch their
+// inputs. It implements the full materialization order Spark uses: cluster
+// cache, then saved checkpoint, then recursive recomputation from lineage.
+
+#ifndef SRC_ENGINE_TASK_CONTEXT_H_
+#define SRC_ENGINE_TASK_CONTEXT_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/engine/context.h"
+#include "src/engine/rdd.h"
+
+namespace flint {
+
+class TaskContext {
+ public:
+  TaskContext(FlintContext* ctx, std::shared_ptr<NodeState> node)
+      : ctx_(ctx), node_(std::move(node)) {}
+
+  // Materializes (rdd, partition): cache -> checkpoint -> recursive compute.
+  // On success the partition is cached if the RDD requests caching, and an
+  // asynchronous checkpoint write is enqueued if the RDD is marked.
+  Result<PartitionPtr> GetPartition(const RddPtr& rdd, int partition);
+
+  // Gathers all map-output buckets of `shuffle_id` for `reduce_part`. On
+  // kDataLoss, failed_shuffle() reports which shuffle must be re-run.
+  Result<std::vector<PartitionPtr>> FetchShuffle(int shuffle_id, int reduce_part);
+
+  // True once this task's node has been revoked; computations poll this at
+  // partition boundaries and abort with kUnavailable.
+  bool Cancelled() const { return node_->revoked.load(std::memory_order_acquire); }
+
+  FlintContext& context() { return *ctx_; }
+  NodeId node_id() const { return node_->info.node_id; }
+  const std::shared_ptr<NodeState>& node() const { return node_; }
+  int failed_shuffle() const { return failed_shuffle_; }
+
+ private:
+  FlintContext* ctx_;
+  std::shared_ptr<NodeState> node_;
+  int failed_shuffle_ = -1;
+};
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_TASK_CONTEXT_H_

@@ -1,0 +1,387 @@
+// The typed, Spark-like public API. TypedRdd<T> wraps a type-erased Rdd with
+// the record type; transformations build LambdaRdd closures, so the engine
+// core stays non-templated. PairRdd<K, V> (an alias) additionally supports
+// the shuffle transformations (ReduceByKey, GroupByKey, Join).
+//
+// Closures run on executor threads and must be pure functions of their
+// inputs: RDDs are immutable and may be recomputed at any time after a
+// revocation, so a side-effecting closure would observe duplicated work.
+
+#ifndef SRC_ENGINE_TYPED_RDD_H_
+#define SRC_ENGINE_TYPED_RDD_H_
+
+#include <algorithm>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/context.h"
+#include "src/engine/hashing.h"
+#include "src/engine/task_context.h"
+
+namespace flint {
+
+template <typename T>
+class TypedRdd {
+ public:
+  using value_type = T;
+
+  TypedRdd() = default;
+  TypedRdd(FlintContext* ctx, RddPtr rdd) : ctx_(ctx), rdd_(std::move(rdd)) {}
+
+  FlintContext* ctx() const { return ctx_; }
+  const RddPtr& raw() const { return rdd_; }
+  bool valid() const { return rdd_ != nullptr; }
+  int num_partitions() const { return rdd_->num_partitions(); }
+  const std::string& name() const { return rdd_->name(); }
+
+  // Requests caching of computed partitions (Spark's persist()). Returns
+  // *this for chaining.
+  TypedRdd<T>& Cache() {
+    rdd_->set_cache(true);
+    return *this;
+  }
+
+  // Spark's unpersist(): drops cached partitions cluster-wide. No-op on a
+  // default-constructed handle.
+  void Unpersist() {
+    if (ctx_ != nullptr && rdd_ != nullptr) {
+      ctx_->UnpersistRdd(rdd_);
+    }
+  }
+
+  // --- narrow transformations ---
+
+  template <typename F>
+  auto Map(F fn, std::string name = "map") const {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    RddPtr parent = rdd_;
+    RddPtr out = ctx_->CreateRdd(
+        std::move(name), parent->num_partitions(),
+        {Dependency{DepType::kNarrowOneToOne, parent, nullptr}},
+        [parent, fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
+          FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(parent, i));
+          const auto& rows = Rows<T>(*in);
+          std::vector<U> result;
+          result.reserve(rows.size());
+          for (const auto& r : rows) {
+            result.push_back(fn(r));
+          }
+          return MakePartition(std::move(result));
+        });
+    return TypedRdd<U>(ctx_, std::move(out));
+  }
+
+  template <typename F>
+  TypedRdd<T> Filter(F pred, std::string name = "filter") const {
+    RddPtr parent = rdd_;
+    RddPtr out = ctx_->CreateRdd(
+        std::move(name), parent->num_partitions(),
+        {Dependency{DepType::kNarrowOneToOne, parent, nullptr}},
+        [parent, pred](int i, TaskContext& tc) -> Result<PartitionPtr> {
+          FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(parent, i));
+          std::vector<T> result;
+          for (const auto& r : Rows<T>(*in)) {
+            if (pred(r)) {
+              result.push_back(r);
+            }
+          }
+          return MakePartition(std::move(result));
+        });
+    return TypedRdd<T>(ctx_, std::move(out));
+  }
+
+  // fn: const std::vector<T>& -> std::vector<U>, applied per partition.
+  template <typename F>
+  auto MapPartitions(F fn, std::string name = "mapPartitions") const {
+    using Vec = std::decay_t<std::invoke_result_t<F, const std::vector<T>&>>;
+    using U = typename Vec::value_type;
+    RddPtr parent = rdd_;
+    RddPtr out = ctx_->CreateRdd(
+        std::move(name), parent->num_partitions(),
+        {Dependency{DepType::kNarrowOneToOne, parent, nullptr}},
+        [parent, fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
+          FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(parent, i));
+          return MakePartition(fn(Rows<T>(*in)));
+        });
+    return TypedRdd<U>(ctx_, std::move(out));
+  }
+
+  // fn: const T& -> std::vector<U>; results are concatenated.
+  template <typename F>
+  auto FlatMap(F fn, std::string name = "flatMap") const {
+    using Vec = std::decay_t<std::invoke_result_t<F, const T&>>;
+    using U = typename Vec::value_type;
+    RddPtr parent = rdd_;
+    RddPtr out = ctx_->CreateRdd(
+        std::move(name), parent->num_partitions(),
+        {Dependency{DepType::kNarrowOneToOne, parent, nullptr}},
+        [parent, fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
+          FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(parent, i));
+          std::vector<U> result;
+          for (const auto& r : Rows<T>(*in)) {
+            Vec part = fn(r);
+            result.insert(result.end(), std::make_move_iterator(part.begin()),
+                          std::make_move_iterator(part.end()));
+          }
+          return MakePartition(std::move(result));
+        });
+    return TypedRdd<U>(ctx_, std::move(out));
+  }
+
+  // --- actions (run a job) ---
+
+  Result<std::vector<T>> Collect() const {
+    FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> parts, ctx_->Materialize(rdd_));
+    std::vector<T> out;
+    for (const auto& p : parts) {
+      const auto& rows = Rows<T>(*p);
+      out.insert(out.end(), rows.begin(), rows.end());
+    }
+    return out;
+  }
+
+  Result<uint64_t> Count() const {
+    FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> parts, ctx_->Materialize(rdd_));
+    uint64_t n = 0;
+    for (const auto& p : parts) {
+      n += p->NumRecords();
+    }
+    return n;
+  }
+
+  template <typename F>
+  Result<T> Reduce(F fn) const {
+    FLINT_ASSIGN_OR_RETURN(std::vector<T> rows, Collect());
+    if (rows.empty()) {
+      return FailedPrecondition("Reduce on empty RDD");
+    }
+    T acc = std::move(rows.front());
+    for (size_t i = 1; i < rows.size(); ++i) {
+      acc = fn(acc, rows[i]);
+    }
+    return acc;
+  }
+
+  // Forces computation (and caching/checkpoint writes) without collecting.
+  Status Materialize() const { return ctx_->Materialize(rdd_).status(); }
+
+ private:
+  FlintContext* ctx_ = nullptr;
+  RddPtr rdd_;
+};
+
+template <typename K, typename V>
+using PairRdd = TypedRdd<std::pair<K, V>>;
+
+// --- sources ---
+
+// Splits driver-resident data into `num_partitions` partitions. Recomputation
+// re-reads from the (simulated) origin store, paying the origin bandwidth.
+template <typename T>
+TypedRdd<T> Parallelize(FlintContext* ctx, std::vector<T> data, int num_partitions,
+                        std::string name = "parallelize") {
+  auto shared = std::make_shared<const std::vector<T>>(std::move(data));
+  RddPtr out = ctx->CreateRdd(
+      std::move(name), num_partitions, {},
+      [shared, num_partitions](int i, TaskContext& tc) -> Result<PartitionPtr> {
+        const size_t n = shared->size();
+        const size_t begin = n * static_cast<size_t>(i) / static_cast<size_t>(num_partitions);
+        const size_t end = n * (static_cast<size_t>(i) + 1) / static_cast<size_t>(num_partitions);
+        std::vector<T> rows(shared->begin() + static_cast<ptrdiff_t>(begin),
+                            shared->begin() + static_cast<ptrdiff_t>(end));
+        PartitionPtr part = MakePartition(std::move(rows));
+        tc.context().ChargeOriginRead(part->SizeBytes());
+        return part;
+      });
+  return TypedRdd<T>(ctx, std::move(out));
+}
+
+// Deterministically generates partition i via `fn(i)`. Used by the synthetic
+// workload generators; recomputation pays the origin-read model like a real
+// re-fetch + deserialize would.
+template <typename F>
+auto Generate(FlintContext* ctx, int num_partitions, F fn, std::string name = "generate") {
+  using Vec = std::decay_t<std::invoke_result_t<F, int>>;
+  using T = typename Vec::value_type;
+  RddPtr out = ctx->CreateRdd(std::move(name), num_partitions, {},
+                              [fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
+                                PartitionPtr part = MakePartition(fn(i));
+                                tc.context().ChargeOriginRead(part->SizeBytes());
+                                return part;
+                              });
+  return TypedRdd<T>(ctx, std::move(out));
+}
+
+// --- shuffle transformations ---
+
+namespace rdd_internal {
+
+// Plain hash-partition of pair rows into buckets, no combining.
+template <typename K, typename V>
+ShuffleBucketer MakePlainBucketer() {
+  return [](const PartitionData& p, int num_buckets) {
+    std::vector<std::vector<std::pair<K, V>>> buckets(static_cast<size_t>(num_buckets));
+    for (const auto& kv : Rows<std::pair<K, V>>(p)) {
+      buckets[HashOf(kv.first) % static_cast<size_t>(num_buckets)].push_back(kv);
+    }
+    std::vector<PartitionPtr> out;
+    out.reserve(buckets.size());
+    for (auto& b : buckets) {
+      out.push_back(MakePartition(std::move(b)));
+    }
+    return out;
+  };
+}
+
+template <typename K, typename V>
+std::shared_ptr<ShuffleInfo> MakeShuffle(FlintContext* ctx, const RddPtr& map_side,
+                                         int num_reduce, ShuffleBucketer bucketer) {
+  auto info = std::make_shared<ShuffleInfo>();
+  info->shuffle_id = ctx->NextShuffleId();
+  info->num_map_partitions = map_side->num_partitions();
+  info->num_reduce_partitions = num_reduce;
+  info->bucketer = std::move(bucketer);
+  info->map_side = map_side;
+  ctx->RegisterShuffleInfo(info);
+  return info;
+}
+
+}  // namespace rdd_internal
+
+// Aggregates values per key with `combine` (associative, commutative).
+// Map-side combining happens in the bucketer, like Spark's aggregator.
+// Output rows are sorted by key for deterministic results.
+template <typename K, typename V, typename Combine>
+PairRdd<K, V> ReduceByKey(const PairRdd<K, V>& parent, int num_reduce, Combine combine,
+                          std::string name = "reduceByKey") {
+  FlintContext* ctx = parent.ctx();
+  ShuffleBucketer bucketer = [combine](const PartitionData& p, int num_buckets) {
+    std::vector<std::unordered_map<K, V, KeyHasher<K>>> maps(static_cast<size_t>(num_buckets));
+    for (const auto& kv : Rows<std::pair<K, V>>(p)) {
+      auto& m = maps[HashOf(kv.first) % static_cast<size_t>(num_buckets)];
+      auto [it, inserted] = m.try_emplace(kv.first, kv.second);
+      if (!inserted) {
+        it->second = combine(it->second, kv.second);
+      }
+    }
+    std::vector<PartitionPtr> out;
+    out.reserve(maps.size());
+    for (auto& m : maps) {
+      std::vector<std::pair<K, V>> rows(m.begin(), m.end());
+      out.push_back(MakePartition(std::move(rows)));
+    }
+    return out;
+  };
+  auto info = rdd_internal::MakeShuffle<K, V>(ctx, parent.raw(), num_reduce, std::move(bucketer));
+  RddPtr out = ctx->CreateRdd(
+      std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
+      [info, combine](int j, TaskContext& tc) -> Result<PartitionPtr> {
+        FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> buckets,
+                               tc.FetchShuffle(info->shuffle_id, j));
+        std::unordered_map<K, V, KeyHasher<K>> acc;
+        for (const auto& b : buckets) {
+          for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
+            auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+            if (!inserted) {
+              it->second = combine(it->second, kv.second);
+            }
+          }
+        }
+        std::vector<std::pair<K, V>> rows(acc.begin(), acc.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        return MakePartition(std::move(rows));
+      });
+  return PairRdd<K, V>(ctx, std::move(out));
+}
+
+// Groups values per key. Output rows sorted by key; value order follows map
+// partition order (deterministic given deterministic inputs).
+template <typename K, typename V>
+PairRdd<K, std::vector<V>> GroupByKey(const PairRdd<K, V>& parent, int num_reduce,
+                                      std::string name = "groupByKey") {
+  FlintContext* ctx = parent.ctx();
+  auto info = rdd_internal::MakeShuffle<K, V>(ctx, parent.raw(), num_reduce,
+                                              rdd_internal::MakePlainBucketer<K, V>());
+  RddPtr out = ctx->CreateRdd(
+      std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
+      [info](int j, TaskContext& tc) -> Result<PartitionPtr> {
+        FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> buckets,
+                               tc.FetchShuffle(info->shuffle_id, j));
+        std::unordered_map<K, std::vector<V>, KeyHasher<K>> acc;
+        for (const auto& b : buckets) {
+          for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
+            acc[kv.first].push_back(kv.second);
+          }
+        }
+        std::vector<std::pair<K, std::vector<V>>> rows;
+        rows.reserve(acc.size());
+        for (auto& [k, vs] : acc) {
+          rows.emplace_back(k, std::move(vs));
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        return MakePartition(std::move(rows));
+      });
+  return PairRdd<K, std::vector<V>>(ctx, std::move(out));
+}
+
+// Inner hash join. Both sides are shuffled by key into `num_reduce`
+// partitions; the reduce side builds a hash table from the left input.
+template <typename K, typename V, typename W>
+PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, V>& left, const PairRdd<K, W>& right,
+                                 int num_reduce, std::string name = "join") {
+  FlintContext* ctx = left.ctx();
+  auto left_info = rdd_internal::MakeShuffle<K, V>(ctx, left.raw(), num_reduce,
+                                                   rdd_internal::MakePlainBucketer<K, V>());
+  auto right_info = rdd_internal::MakeShuffle<K, W>(ctx, right.raw(), num_reduce,
+                                                    rdd_internal::MakePlainBucketer<K, W>());
+  RddPtr out = ctx->CreateRdd(
+      std::move(name), num_reduce,
+      {Dependency{DepType::kShuffle, left.raw(), left_info},
+       Dependency{DepType::kShuffle, right.raw(), right_info}},
+      [left_info, right_info](int j, TaskContext& tc) -> Result<PartitionPtr> {
+        FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> lbuckets,
+                               tc.FetchShuffle(left_info->shuffle_id, j));
+        FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> rbuckets,
+                               tc.FetchShuffle(right_info->shuffle_id, j));
+        std::unordered_map<K, std::vector<V>, KeyHasher<K>> table;
+        for (const auto& b : lbuckets) {
+          for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
+            table[kv.first].push_back(kv.second);
+          }
+        }
+        std::vector<std::pair<K, std::pair<V, W>>> rows;
+        for (const auto& b : rbuckets) {
+          for (const auto& kw : Rows<std::pair<K, W>>(*b)) {
+            auto it = table.find(kw.first);
+            if (it == table.end()) {
+              continue;
+            }
+            for (const auto& v : it->second) {
+              rows.emplace_back(kw.first, std::make_pair(v, kw.second));
+            }
+          }
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        return MakePartition(std::move(rows));
+      });
+  return PairRdd<K, std::pair<V, W>>(ctx, std::move(out));
+}
+
+// Convenience: map only the values of a pair RDD.
+template <typename K, typename V, typename F>
+auto MapValues(const PairRdd<K, V>& parent, F fn, std::string name = "mapValues") {
+  using W = std::decay_t<std::invoke_result_t<F, const V&>>;
+  return parent.Map([fn](const std::pair<K, V>& kv) { return std::make_pair(kv.first, fn(kv.second)); },
+                    std::move(name));
+}
+
+}  // namespace flint
+
+#endif  // SRC_ENGINE_TYPED_RDD_H_

@@ -1,0 +1,99 @@
+#include "src/market/marketplace.h"
+
+#include <cmath>
+
+namespace flint {
+
+Marketplace::Marketplace(std::vector<MarketDesc> markets, double on_demand_price, uint64_t seed)
+    : on_demand_price_(on_demand_price), rng_(seed) {
+  markets_.reserve(markets.size());
+  for (auto& desc : markets) {
+    markets_.emplace_back(std::move(desc));
+  }
+}
+
+Result<Lease> Marketplace::Acquire(MarketId id, double bid, SimTime t) {
+  Lease lease;
+  lease.start = t;
+  if (id == kOnDemandMarket) {
+    lease.market = kOnDemandMarket;
+    lease.bid = on_demand_price_;
+    lease.revocation = kInfiniteTime;
+    return lease;
+  }
+  if (id < 0 || static_cast<size_t>(id) >= markets_.size()) {
+    return InvalidArgument("no such market id " + std::to_string(id));
+  }
+  if (bid > MaxBid()) {
+    return InvalidArgument("bid exceeds 10x on-demand cap");
+  }
+  const SpotMarket& m = markets_[static_cast<size_t>(id)];
+  if (!m.fixed_price() && !m.Available(t, bid)) {
+    return Unavailable("spot price above bid in " + m.name());
+  }
+  lease.market = id;
+  lease.bid = bid;
+  lease.revocation = m.NextRevocation(t, bid, rng_);
+  return lease;
+}
+
+double Marketplace::Cost(const Lease& lease, SimTime end) const {
+  if (lease.market == kOnDemandMarket) {
+    // On-demand: hourly billing at the flat on-demand price.
+    const double held = std::max(0.0, end - lease.start);
+    return std::ceil(held - 1e-9) * on_demand_price_;
+  }
+  const SpotMarket& m = markets_[static_cast<size_t>(lease.market)];
+  const bool revoked = end >= lease.revocation;
+  return m.BillServer(lease.start, std::min(end, lease.revocation), revoked);
+}
+
+BidStats Marketplace::Stats(MarketId id, double bid) const {
+  if (id == kOnDemandMarket) {
+    BidStats stats;
+    stats.bid = bid;
+    stats.mttf_hours = kInfiniteTime;
+    stats.avg_price = on_demand_price_;
+    stats.availability = 1.0;
+    return stats;
+  }
+  return markets_.at(static_cast<size_t>(id)).StatsAtBid(bid);
+}
+
+BidStats Marketplace::WindowStats(MarketId id, SimTime now, SimDuration window, double bid) const {
+  if (id == kOnDemandMarket) {
+    return Stats(id, bid);
+  }
+  return markets_.at(static_cast<size_t>(id)).StatsInWindow(now, window, bid);
+}
+
+std::vector<std::vector<double>> Marketplace::CorrelationMatrix() const {
+  const size_t n = markets_.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double c = 0.0;
+      if (!markets_[i].fixed_price() && !markets_[j].fixed_price()) {
+        c = TraceCorrelation(markets_[i].desc().trace, markets_[j].desc().trace);
+      }
+      matrix[i][j] = c;
+      matrix[j][i] = c;
+    }
+  }
+  return matrix;
+}
+
+bool Marketplace::PriceNearAverage(MarketId id, SimTime now, SimDuration window,
+                                   double threshold) const {
+  if (id == kOnDemandMarket) {
+    return true;
+  }
+  const SpotMarket& m = markets_.at(static_cast<size_t>(id));
+  const BidStats stats = m.StatsInWindow(now, window, MaxBid());
+  if (stats.avg_price <= 0.0) {
+    return false;
+  }
+  return m.PriceAt(now) <= stats.avg_price * (1.0 + threshold);
+}
+
+}  // namespace flint

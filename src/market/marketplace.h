@@ -1,0 +1,78 @@
+// The marketplace aggregates every spot pool plus the on-demand pool (modeled,
+// per the paper, as a market with a stable price and zero revocation
+// probability). It is the single interface the node manager and the
+// long-horizon simulator use to query prices, MTTFs, correlations, and to
+// acquire/bill servers.
+
+#ifndef SRC_MARKET_MARKETPLACE_H_
+#define SRC_MARKET_MARKETPLACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/market/spot_market.h"
+
+namespace flint {
+
+// Index of a market within a Marketplace. kOnDemandMarket designates the
+// non-revocable on-demand pool.
+using MarketId = int;
+inline constexpr MarketId kOnDemandMarket = -1;
+
+// One acquired server lease.
+struct Lease {
+  MarketId market = kOnDemandMarket;
+  double bid = 0.0;
+  SimTime start = 0.0;
+  SimTime revocation = kInfiniteTime;  // provider-chosen revocation time
+};
+
+class Marketplace {
+ public:
+  // `on_demand_price` is the price of the reference on-demand server type the
+  // cluster would otherwise use.
+  Marketplace(std::vector<MarketDesc> markets, double on_demand_price, uint64_t seed);
+
+  size_t num_markets() const { return markets_.size(); }
+  double on_demand_price() const { return on_demand_price_; }
+  const SpotMarket& market(MarketId id) const { return markets_.at(static_cast<size_t>(id)); }
+
+  // EC2 policy: bids are capped at 10x the on-demand price.
+  double MaxBid() const { return 10.0 * on_demand_price_; }
+
+  // Acquires one server from `id` at time t with the given bid. On-demand
+  // acquisitions always succeed and never get revoked. Spot acquisitions fail
+  // with kUnavailable if the current price exceeds the bid.
+  Result<Lease> Acquire(MarketId id, double bid, SimTime t);
+
+  // Cost of a lease held until `end` (end <= lease.revocation). The final
+  // partial hour is free when the lease ended because of a revocation.
+  double Cost(const Lease& lease, SimTime end) const;
+
+  // Whole-trace statistics at a bid.
+  BidStats Stats(MarketId id, double bid) const;
+
+  // Recent-window statistics (the node manager monitors "the past week").
+  BidStats WindowStats(MarketId id, SimTime now, SimDuration window, double bid) const;
+
+  // Pairwise price-correlation matrix over all spot markets (Fig 4).
+  std::vector<std::vector<double>> CorrelationMatrix() const;
+
+  // Instantaneous-risk filter from the restoration policy: true if the
+  // current price is within `threshold` (fractional, e.g. 0.10) of the
+  // recent-window average price — i.e. the market is not currently spiking.
+  bool PriceNearAverage(MarketId id, SimTime now, SimDuration window, double threshold) const;
+
+ private:
+  std::vector<SpotMarket> markets_;
+  double on_demand_price_;
+  Rng rng_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_MARKET_MARKETPLACE_H_

@@ -1,0 +1,120 @@
+#include "src/market/spot_market.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flint {
+
+double SpotMarket::PriceAt(SimTime t) const {
+  if (desc_.fixed_price) {
+    return desc_.fixed_price_value;
+  }
+  return desc_.trace.PriceAt(t);
+}
+
+SimTime SpotMarket::NextRevocation(SimTime t, double bid, Rng& rng) const {
+  if (desc_.fixed_price) {
+    double life = desc_.fixed_mttf_hours > 0.0
+                      ? SampleGceLifetime(rng, desc_.fixed_mttf_hours)
+                      : rng.Exponential(24.0);
+    if (desc_.max_lifetime_hours > 0.0) {
+      life = std::min(life, desc_.max_lifetime_hours);
+    }
+    return t + life;
+  }
+  const PriceTrace& trace = desc_.trace;
+  if (trace.empty()) {
+    return kInfiniteTime;
+  }
+  const double step = trace.step();
+  const size_t n = trace.size();
+  size_t idx = trace.IndexAt(t);
+  // Scan at most one full trace length; the trace wraps, so if no sample
+  // exceeds the bid the server is never revoked.
+  for (size_t scanned = 0; scanned < n; ++scanned) {
+    const size_t i = (idx + scanned) % n;
+    if (trace.prices()[i] > bid) {
+      const double sample_start =
+          std::floor(t / step) * step + static_cast<double>(scanned) * step;
+      return std::max(t, sample_start);
+    }
+  }
+  return kInfiniteTime;
+}
+
+SimTime SpotMarket::NextAvailability(SimTime t, double bid) const {
+  if (desc_.fixed_price) {
+    return t;  // fixed-price pools always grant requests
+  }
+  const PriceTrace& trace = desc_.trace;
+  if (trace.empty()) {
+    return kInfiniteTime;
+  }
+  const double step = trace.step();
+  const size_t n = trace.size();
+  size_t idx = trace.IndexAt(t);
+  for (size_t scanned = 0; scanned < n; ++scanned) {
+    const size_t i = (idx + scanned) % n;
+    if (trace.prices()[i] <= bid) {
+      const double sample_start =
+          std::floor(t / step) * step + static_cast<double>(scanned) * step;
+      return std::max(t, sample_start);
+    }
+  }
+  return kInfiniteTime;
+}
+
+double SpotMarket::BillServer(SimTime start, SimTime end, bool revoked) const {
+  if (end <= start) {
+    return 0.0;
+  }
+  double cost = 0.0;
+  double t = start;
+  while (t < end) {
+    const double hour_end = std::min(t + 1.0, end);
+    const bool final_partial = hour_end >= end && (end - t) < 1.0;
+    if (!(revoked && final_partial)) {
+      cost += PriceAt(t);  // full-hour billing at the price in effect at hour start
+    }
+    t += 1.0;
+  }
+  return cost;
+}
+
+BidStats SpotMarket::StatsAtBid(double bid) const {
+  if (desc_.fixed_price) {
+    BidStats stats;
+    stats.bid = bid;
+    stats.mttf_hours = desc_.fixed_mttf_hours > 0.0 ? desc_.fixed_mttf_hours : 24.0;
+    stats.avg_price = desc_.fixed_price_value;
+    stats.availability = 1.0;
+    return stats;
+  }
+  return ComputeBidStats(desc_.trace, bid);
+}
+
+BidStats SpotMarket::StatsInWindow(SimTime end, SimDuration window, double bid) const {
+  if (desc_.fixed_price) {
+    return StatsAtBid(bid);
+  }
+  const PriceTrace& trace = desc_.trace;
+  if (trace.empty() || window <= 0.0) {
+    return StatsAtBid(bid);
+  }
+  const double step = trace.step();
+  const auto count = std::min<size_t>(trace.size(), static_cast<size_t>(window / step));
+  if (count == 0) {
+    return StatsAtBid(bid);
+  }
+  std::vector<double> slice(count);
+  const size_t n = trace.size();
+  // Window ends at `end` (exclusive), wrapping backwards through the trace.
+  const size_t end_idx = trace.IndexAt(end);
+  for (size_t k = 0; k < count; ++k) {
+    const size_t i = (end_idx + n - count + k) % n;
+    slice[k] = trace.prices()[i];
+  }
+  return ComputeBidStats(PriceTrace(step, std::move(slice)), bid);
+}
+
+}  // namespace flint

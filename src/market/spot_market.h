@@ -1,0 +1,65 @@
+// A single spot pool: replays its price trace, answers revocation queries for
+// a given bid, and bills held servers the way EC2 does (hourly, at the spot
+// price in effect at the start of each hour). Fixed-price (GCE preemptible)
+// pools instead sample revocations from the preemptible lifetime model.
+
+#ifndef SRC_MARKET_SPOT_MARKET_H_
+#define SRC_MARKET_SPOT_MARKET_H_
+
+#include <limits>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/trace/market_catalog.h"
+#include "src/trace/price_trace.h"
+
+namespace flint {
+
+inline constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
+
+class SpotMarket {
+ public:
+  explicit SpotMarket(MarketDesc desc) : desc_(std::move(desc)) {}
+
+  const std::string& name() const { return desc_.name; }
+  double on_demand_price() const { return desc_.on_demand_price; }
+  bool fixed_price() const { return desc_.fixed_price; }
+  const MarketDesc& desc() const { return desc_; }
+
+  // Spot price at absolute time t.
+  double PriceAt(SimTime t) const;
+
+  // Whether a request at time t with the given bid would be granted.
+  bool Available(SimTime t, double bid) const { return PriceAt(t) <= bid; }
+
+  // First time >= t at which a server bid at `bid` is revoked. For trace
+  // markets this is the first price crossing above the bid; for fixed-price
+  // pools a lifetime is sampled from `rng`. Returns kInfiniteTime if the
+  // price never crosses the bid in the (wrapped) trace.
+  SimTime NextRevocation(SimTime t, double bid, Rng& rng) const;
+
+  // First time >= t at which the market becomes available at `bid` (price
+  // drops back to <= bid). Returns kInfiniteTime if never.
+  SimTime NextAvailability(SimTime t, double bid) const;
+
+  // Cost of holding one server on [start, end) with EC2-style hourly billing:
+  // each (possibly partial) hour is billed at the spot price in effect at the
+  // start of that hour. EC2 does not charge the final partial hour when the
+  // *provider* revokes; `revoked` selects that behaviour.
+  double BillServer(SimTime start, SimTime end, bool revoked) const;
+
+  // Trace statistics at a bid over the whole trace.
+  BidStats StatsAtBid(double bid) const;
+
+  // Statistics over the window [end - window, end), the "recent price
+  // history" the node manager monitors. Window is clamped to the trace.
+  BidStats StatsInWindow(SimTime end, SimDuration window, double bid) const;
+
+ private:
+  MarketDesc desc_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_MARKET_SPOT_MARKET_H_

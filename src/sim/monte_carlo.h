@@ -1,0 +1,40 @@
+// Fixed-MTTF Monte-Carlo simulation of the canonical job: revocations arrive
+// as a Poisson process; with checkpointing, work since the last checkpoint is
+// lost (scaled by the fraction of servers revoked); without, all in-memory
+// progress is lost and must be recomputed from source data. Used for Fig 10
+// (runtime increase vs MTTF; Flint vs unmodified Spark) and as a verification
+// target for the closed-form Eq. 1/4 quantities.
+
+#ifndef SRC_SIM_MONTE_CARLO_H_
+#define SRC_SIM_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "src/sim/canonical_job.h"
+
+namespace flint {
+
+struct McConfig {
+  double mttf_hours = 50.0;  // aggregate cluster MTTF
+  int num_markets = 1;       // m: a revocation loses 1/m of the cluster
+  bool checkpointing = true; // false = unmodified-Spark recompute-only
+  // > 0 forces the checkpoint interval instead of Daly's tau_opt (for the
+  // interval-sweep ablation); the per-checkpoint cost stays job.delta.
+  double forced_tau_hours = 0.0;
+  int trials = 2000;
+  uint64_t seed = 1;
+};
+
+struct McResult {
+  double mean_runtime_hours = 0.0;
+  double mean_factor = 1.0;       // mean runtime / base runtime
+  double factor_stddev = 0.0;
+  double p95_factor = 1.0;
+  double mean_revocations = 0.0;
+};
+
+McResult SimulateCanonicalJob(const CanonicalJob& job, const McConfig& config);
+
+}  // namespace flint
+
+#endif  // SRC_SIM_MONTE_CARLO_H_

@@ -1,0 +1,212 @@
+#include "src/sim/trace_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace flint {
+
+namespace {
+
+// Picks the initial per-node market assignment for a strategy.
+Result<std::vector<MarketId>> InitialAssignment(const ServerSelector& selector, SimTime now,
+                                                const JobProfile& profile,
+                                                const StrategyConfig& config) {
+  std::vector<MarketId> per_node(static_cast<size_t>(config.cluster_size), kOnDemandMarket);
+  switch (config.policy) {
+    case SelectionPolicyKind::kFlintBatch: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev, selector.SelectBatch(now, profile));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kFlintInteractive: {
+      FLINT_ASSIGN_OR_RETURN(MixEvaluation mix, selector.SelectInteractive(now, profile));
+      for (size_t i = 0; i < per_node.size(); ++i) {
+        per_node[i] = mix.markets[i % mix.markets.size()];
+      }
+      return per_node;
+    }
+    case SelectionPolicyKind::kSpotFleetCheapest: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev, selector.SelectCheapest(now, profile));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kSpotFleetLeastVolatile: {
+      FLINT_ASSIGN_OR_RETURN(MarketEvaluation ev, selector.SelectLeastVolatile(now, profile));
+      std::fill(per_node.begin(), per_node.end(), ev.id);
+      return per_node;
+    }
+    case SelectionPolicyKind::kOnDemand:
+      return per_node;
+  }
+  return Internal("unknown policy");
+}
+
+}  // namespace
+
+StrategyResult TraceSimulator::Run(const CanonicalJob& job, const StrategyConfig& config) const {
+  Rng rng(config.seed);
+  ServerSelector selector(marketplace_, config.selection);
+  JobProfile profile;
+  profile.delta_hours = job.delta_hours();
+  profile.rd_hours = job.rd_hours;
+
+  RunningStats factor_stats;
+  RunningStats cost_stats;
+  RunningStats revocation_stats;
+  RunningStats market_stats;
+
+  // Random offsets well inside the trace so the "recent window" exists.
+  const double window = config.selection.history_window;
+  const double trace_hours = 24.0 * 180.0;
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const SimTime start = window + rng.NextDouble() * (trace_hours - 2.0 * window);
+    Result<std::vector<MarketId>> assignment = InitialAssignment(selector, start, profile, config);
+    if (!assignment.ok()) {
+      continue;
+    }
+    // Group nodes per market; all nodes of one market revoke together.
+    std::map<MarketId, int> market_nodes;
+    for (MarketId id : *assignment) {
+      market_nodes[id] += 1;
+    }
+    market_stats.Add(static_cast<double>(market_nodes.size()));
+
+    // Aggregate MTTF drives tau.
+    auto aggregate_mttf = [&](SimTime now) {
+      std::vector<double> mttfs;
+      for (const auto& [id, n] : market_nodes) {
+        mttfs.push_back(
+            marketplace_->WindowStats(id, now, window, selector.BidFor(id)).mttf_hours);
+      }
+      return AggregateMttf(mttfs);
+    };
+
+    // Per-market leases (a market's nodes share one revocation time).
+    std::map<MarketId, Lease> leases;
+    double cost = 0.0;
+    auto open_lease = [&](MarketId id, SimTime t) {
+      Result<Lease> lease = marketplace_->Acquire(id, selector.BidFor(id), t);
+      if (!lease.ok()) {
+        lease = marketplace_->Acquire(kOnDemandMarket, marketplace_->on_demand_price(), t);
+      }
+      leases[id] = *lease;
+    };
+    for (const auto& [id, n] : market_nodes) {
+      open_lease(id, start);
+    }
+
+    double elapsed = 0.0;        // hours since start
+    double done = 0.0;           // useful work
+    double done_at_ckpt = 0.0;
+    int revocations = 0;
+    const double horizon = 200.0 * job.base_hours;
+    std::unordered_set<MarketId> revoked_recently;
+
+    while (done < job.base_hours && elapsed < horizon) {
+      const SimTime now = start + elapsed;
+      const double mttf = aggregate_mttf(now);
+      const double tau = OptimalCheckpointInterval(profile.delta_hours, mttf);
+      const double work_rate = (config.checkpointing && std::isfinite(tau))
+                                   ? 1.0 / (1.0 + profile.delta_hours / tau)
+                                   : 1.0;
+      // Next market revocation among live leases.
+      SimTime next_rev = kInfiniteTime;
+      MarketId victim = kOnDemandMarket;
+      for (const auto& [id, lease] : leases) {
+        if (lease.revocation < next_rev) {
+          next_rev = lease.revocation;
+          victim = id;
+        }
+      }
+      const double target_work = (config.checkpointing && std::isfinite(tau))
+                                     ? std::min(job.base_hours, done_at_ckpt + tau)
+                                     : job.base_hours;
+      const double t_work = std::max(0.0, target_work - done) / work_rate;
+      if (now + t_work <= next_rev) {
+        elapsed += t_work;
+        done = target_work;
+        if (config.checkpointing && done < job.base_hours) {
+          done_at_ckpt = done;
+        }
+        continue;
+      }
+      // Revocation of `victim` market.
+      const double t_avail = std::max(0.0, next_rev - now);
+      elapsed += t_avail;
+      done = std::min(target_work, done + t_avail * work_rate);
+      ++revocations;
+      const int total_nodes = config.cluster_size;
+      const int lost_nodes = market_nodes[victim];
+      const double frac = static_cast<double>(lost_nodes) / static_cast<double>(total_nodes);
+      // Without checkpoints, lost partitions recompute through the whole
+      // lineage from origin data — slower than the first pass.
+      const double lost_work =
+          (config.checkpointing ? (done - done_at_ckpt)
+                                : done * job.recompute_multiplier) *
+          frac;
+      done = std::max(config.checkpointing ? done_at_ckpt : 0.0, done - lost_work);
+
+      // Bill and close the revoked lease; restore from the next-best market.
+      cost += static_cast<double>(lost_nodes) *
+              marketplace_->Cost(leases[victim], leases[victim].revocation);
+      leases.erase(victim);
+      market_nodes.erase(victim);
+      revoked_recently.insert(victim);
+
+      std::unordered_set<MarketId> exclude = revoked_recently;
+      for (const auto& [id, n] : market_nodes) {
+        exclude.insert(id);  // interactive keeps markets distinct
+      }
+      const SimTime t_restore = start + elapsed;
+      Result<MarketEvaluation> repl =
+          selector.SelectReplacement(config.policy, t_restore, profile,
+                                     config.policy == SelectionPolicyKind::kFlintInteractive
+                                         ? exclude
+                                         : revoked_recently);
+      const MarketId new_market = repl.ok() ? repl->id : kOnDemandMarket;
+      elapsed += job.rd_hours;
+      market_nodes[new_market] += lost_nodes;
+      if (leases.count(new_market) == 0) {
+        open_lease(new_market, start + elapsed);
+      }
+      revoked_recently.clear();
+      revoked_recently.insert(victim);
+    }
+
+    // Close remaining leases.
+    const SimTime end = start + elapsed;
+    for (const auto& [id, lease] : leases) {
+      cost += static_cast<double>(market_nodes[id]) * marketplace_->Cost(lease, end);
+    }
+    // Managed-service fee (per node-hour, fraction of on-demand).
+    cost += config.fee_fraction_of_on_demand * marketplace_->on_demand_price() *
+            static_cast<double>(config.cluster_size) * elapsed;
+
+    const double factor = elapsed / job.base_hours;
+    factor_stats.Add(factor);
+    cost_stats.Add(cost);
+    revocation_stats.Add(static_cast<double>(revocations));
+  }
+
+  StrategyResult result;
+  result.mean_factor = factor_stats.mean();
+  result.factor_stddev = factor_stats.stddev();
+  result.mean_cost = cost_stats.mean();
+  const double on_demand_cost = std::ceil(job.base_hours - 1e-9) *
+                                marketplace_->on_demand_price() *
+                                static_cast<double>(config.cluster_size);
+  result.normalized_unit_cost = on_demand_cost > 0.0 ? cost_stats.mean() / on_demand_cost : 0.0;
+  result.mean_revocation_events = revocation_stats.mean();
+  result.mean_markets_used = market_stats.mean();
+  return result;
+}
+
+}  // namespace flint

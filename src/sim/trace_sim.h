@@ -1,0 +1,53 @@
+// Trace-driven cost/performance simulator (Fig 11a, text results of Sec 5.5):
+// runs the canonical job at many random offsets into months of market traces
+// under a full provisioning strategy — server selection policy, restoration
+// on revocation, checkpointing discipline, billing (hourly at the spot
+// price), and managed-service fees (Spark-EMR's +25% of on-demand).
+
+#ifndef SRC_SIM_TRACE_SIM_H_
+#define SRC_SIM_TRACE_SIM_H_
+
+#include <cstdint>
+
+#include "src/market/marketplace.h"
+#include "src/select/selection.h"
+#include "src/sim/canonical_job.h"
+
+namespace flint {
+
+struct StrategyConfig {
+  SelectionPolicyKind policy = SelectionPolicyKind::kFlintBatch;
+  SelectionConfig selection;
+  bool checkpointing = true;  // false: unmodified Spark (recompute-only)
+  // Managed-service fee as a fraction of the on-demand price per node-hour
+  // (Spark-EMR charges 25% of on-demand on top of the spot price).
+  double fee_fraction_of_on_demand = 0.0;
+  int cluster_size = 10;
+  int trials = 200;
+  uint64_t seed = 3;
+};
+
+struct StrategyResult {
+  double mean_factor = 1.0;         // runtime / base runtime
+  double factor_stddev = 0.0;
+  double mean_cost = 0.0;           // $ per job
+  double normalized_unit_cost = 1.0;  // cost / (same job on on-demand)
+  double mean_revocation_events = 0.0;
+  double mean_markets_used = 1.0;
+};
+
+class TraceSimulator {
+ public:
+  explicit TraceSimulator(Marketplace* marketplace) : marketplace_(marketplace) {}
+
+  StrategyResult Run(const CanonicalJob& job, const StrategyConfig& config) const;
+
+ private:
+  // Acquire mutates the marketplace's internal RNG (lifetime sampling for
+  // fixed-price pools), hence the non-const pointer.
+  Marketplace* marketplace_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_SIM_TRACE_SIM_H_

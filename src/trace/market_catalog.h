@@ -1,0 +1,61 @@
+// Catalogs of market descriptors used across the simulator, plus presets that
+// approximate the concrete markets the paper measures:
+//   - Fig 2a EC2 spot pools: us-west-2c (MTTF ~701 h), eu-west-1c (~101 h),
+//     sa-east-1a (~19 h) at a bid equal to the on-demand price;
+//   - Fig 2b GCE preemptible types: MTTF ~20-23 h, hard 24 h lifetime cap;
+//   - Fig 11b instance types: m1.xlarge, m3.2xlarge, m2.2xlarge.
+
+#ifndef SRC_TRACE_MARKET_CATALOG_H_
+#define SRC_TRACE_MARKET_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/price_trace.h"
+
+namespace flint {
+
+// Static description of one spot pool ("market"): identity, on-demand
+// reference price, and its price trace.
+struct MarketDesc {
+  std::string name;
+  double on_demand_price = 0.0;  // $/hr for the equivalent on-demand server
+  PriceTrace trace;
+  // GCE-style fixed-price transient pool: price is constant, revocations
+  // follow the preemptible lifetime model instead of price crossings.
+  bool fixed_price = false;
+  double fixed_price_value = 0.0;
+  double fixed_mttf_hours = 0.0;    // for fixed-price pools
+  double max_lifetime_hours = 0.0;  // 24 for GCE; 0 = unlimited
+};
+
+// Volatility classes for preset generation.
+enum class MarketVolatility {
+  kCalm,      // MTTF ~700 h at on-demand bid (us-west-2c-like)
+  kModerate,  // MTTF ~100 h (eu-west-1c-like)
+  kVolatile,  // MTTF ~19 h (sa-east-1a-like)
+  kExtreme,   // MTTF ~1-5 h (synthetic stress regime, Fig 6c)
+};
+
+SyntheticTraceParams ParamsForVolatility(MarketVolatility volatility, double on_demand_price,
+                                         uint64_t seed);
+
+// The three EC2 pools from Fig 2a.
+std::vector<MarketDesc> Fig2SpotMarkets(uint64_t seed);
+
+// The three GCE preemptible types from Fig 2b (fixed price, ~24 h lifetime).
+std::vector<MarketDesc> Fig2GceMarkets(uint64_t seed);
+
+// A pool of `count` markets of mixed volatility with a few correlated pairs,
+// approximating one EC2 region's markets (Figs 4, 9, 11a).
+std::vector<MarketDesc> RegionMarkets(size_t count, uint64_t seed);
+
+// Samples time-to-failure draws for a GCE preemptible VM: revocation is
+// guaranteed within 24 h; empirically most instances survive close to the
+// cap, giving MTTFs of ~20-23 h (Fig 2b).
+double SampleGceLifetime(Rng& rng, double mean_hours = 21.5);
+
+}  // namespace flint
+
+#endif  // SRC_TRACE_MARKET_CATALOG_H_

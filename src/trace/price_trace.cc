@@ -1,0 +1,214 @@
+#include "src/trace/price_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "src/common/stats.h"
+
+namespace flint {
+
+size_t PriceTrace::IndexAt(SimTime t) const {
+  if (prices_.empty()) {
+    return 0;
+  }
+  if (t < 0) {
+    t = 0;
+  }
+  const auto idx = static_cast<size_t>(t / step_);
+  return idx % prices_.size();
+}
+
+double PriceTrace::PriceAt(SimTime t) const {
+  if (prices_.empty()) {
+    return 0.0;
+  }
+  return prices_[IndexAt(t)];
+}
+
+BidStats ComputeBidStats(const PriceTrace& trace, double bid) {
+  BidStats stats;
+  stats.bid = bid;
+  if (trace.empty()) {
+    return stats;
+  }
+  const auto& prices = trace.prices();
+  const double step = trace.step();
+
+  double held_time = 0.0;
+  double held_price_time = 0.0;  // integral of price over held time
+  double current_run = 0.0;
+  for (double p : prices) {
+    if (p <= bid) {
+      current_run += step;
+      held_time += step;
+      held_price_time += p * step;
+    } else if (current_run > 0.0) {
+      stats.run_lengths_hours.push_back(current_run);
+      current_run = 0.0;
+    }
+  }
+  if (current_run > 0.0) {
+    stats.run_lengths_hours.push_back(current_run);
+  }
+
+  stats.availability = held_time / trace.duration();
+  stats.avg_price = held_time > 0.0 ? held_price_time / held_time : 0.0;
+  if (stats.run_lengths_hours.size() <= 1 && stats.availability >= 1.0) {
+    // Never revoked anywhere in the trace.
+    stats.mttf_hours = std::numeric_limits<double>::infinity();
+  } else if (stats.run_lengths_hours.empty()) {
+    stats.mttf_hours = 0.0;
+  } else {
+    stats.mttf_hours = Mean(stats.run_lengths_hours);
+  }
+  return stats;
+}
+
+double TraceCorrelation(const PriceTrace& a, const PriceTrace& b) {
+  return PearsonCorrelation(a.prices(), b.prices());
+}
+
+namespace {
+
+// Applies a spike process onto a base-price series. Spikes arrive as a
+// Poisson process; each spike raises the price to height*on_demand for an
+// exponentially distributed duration.
+void ApplySpikes(const SyntheticTraceParams& params, Rng& rng, std::vector<double>& prices) {
+  const size_t n = prices.size();
+  const double step = params.step;
+  const double horizon = step * static_cast<double>(n);
+  double t = 0.0;
+  if (params.spikes_per_hour <= 0.0) {
+    return;
+  }
+  for (;;) {
+    t += rng.Exponential(1.0 / params.spikes_per_hour);
+    if (t >= horizon) {
+      return;
+    }
+    double height = rng.Pareto(params.spike_height_min, params.spike_height_alpha);
+    height = std::min(height, 10.0);  // EC2 caps bids (and effective spikes) at 10x on-demand
+    const double spike_price = height * params.on_demand_price;
+    const double dur = std::max(step, rng.Exponential(params.spike_duration_mean));
+    const auto begin = static_cast<size_t>(t / step);
+    const auto end = std::min(n, begin + static_cast<size_t>(std::ceil(dur / step)));
+    for (size_t i = begin; i < end; ++i) {
+      prices[i] = std::max(prices[i], spike_price);
+    }
+    t += dur;
+  }
+}
+
+std::vector<double> BasePrices(const SyntheticTraceParams& params, Rng& rng) {
+  const auto n = static_cast<size_t>(std::llround(params.duration / params.step));
+  std::vector<double> prices(n);
+  const double base = params.base_price_fraction * params.on_demand_price;
+  for (auto& p : prices) {
+    const double jitter = 1.0 + params.base_noise_fraction * rng.Normal();
+    p = std::max(0.001, base * jitter);
+  }
+  return prices;
+}
+
+}  // namespace
+
+PriceTrace GenerateSyntheticTrace(const SyntheticTraceParams& params) {
+  Rng rng(params.seed);
+  std::vector<double> prices = BasePrices(params, rng);
+  ApplySpikes(params, rng, prices);
+  return PriceTrace(params.step, std::move(prices));
+}
+
+std::vector<PriceTrace> GenerateMarketTraces(
+    const SyntheticTraceParams& params, size_t count,
+    const std::vector<std::pair<size_t, size_t>>& correlated_pairs) {
+  Rng root(params.seed);
+  std::vector<PriceTrace> traces;
+  traces.reserve(count);
+  std::vector<std::vector<double>> series;
+  series.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Rng rng = root.Fork();
+    std::vector<double> prices = BasePrices(params, rng);
+    ApplySpikes(params, rng, prices);
+    series.push_back(std::move(prices));
+  }
+  // Correlated pairs share one extra spike process, injected into both, so
+  // their prices co-move during those episodes.
+  for (const auto& [a, b] : correlated_pairs) {
+    if (a >= count || b >= count) {
+      continue;
+    }
+    Rng shared = root.Fork();
+    std::vector<double> shared_spikes(series[a].size(),
+                                      params.base_price_fraction * params.on_demand_price);
+    SyntheticTraceParams boosted = params;
+    boosted.spikes_per_hour = params.spikes_per_hour * 2.0;
+    ApplySpikes(boosted, shared, shared_spikes);
+    for (size_t i = 0; i < series[a].size() && i < series[b].size(); ++i) {
+      series[a][i] = std::max(series[a][i], shared_spikes[i]);
+      series[b][i] = std::max(series[b][i], shared_spikes[i]);
+    }
+  }
+  for (auto& s : series) {
+    traces.emplace_back(params.step, std::move(s));
+  }
+  return traces;
+}
+
+Status SaveTraceCsv(const PriceTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Internal("cannot open " + path + " for writing");
+  }
+  out.precision(17);  // round-trip doubles exactly
+  out << "step_hours," << trace.step() << "\n";
+  for (double p : trace.prices()) {
+    out << p << "\n";
+  }
+  if (!out) {
+    return Internal("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<PriceTrace> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("cannot open " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return InvalidArgument("empty trace file " + path);
+  }
+  const auto comma = header.find(',');
+  if (comma == std::string::npos || header.substr(0, comma) != "step_hours") {
+    return InvalidArgument("bad trace header in " + path);
+  }
+  double step = 0.0;
+  try {
+    step = std::stod(header.substr(comma + 1));
+  } catch (...) {
+    return InvalidArgument("bad step value in " + path);
+  }
+  if (step <= 0.0) {
+    return InvalidArgument("non-positive step in " + path);
+  }
+  std::vector<double> prices;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      prices.push_back(std::stod(line));
+    } catch (...) {
+      return InvalidArgument("bad price line in " + path);
+    }
+  }
+  return PriceTrace(step, std::move(prices));
+}
+
+}  // namespace flint

@@ -1,0 +1,106 @@
+// Spot-price traces: a fixed-step series of market prices for one spot pool.
+//
+// The paper's policies consume three statistics of a trace at a given bid:
+//   - MTTF(bid): mean length of continuous availability runs (price <= bid),
+//   - average price paid while running,
+//   - pairwise price correlation between markets (Fig 4).
+// This module provides the trace representation, those statistics, and a
+// synthetic generator calibrated to the paper's description of EC2 spot
+// prices: long quiescent periods at a low base price punctuated by sharp,
+// short spikes that exceed even 10x the on-demand price ("peaky" behaviour,
+// Section 5.5 / Fig 11b), with spikes uncorrelated across most market pairs.
+
+#ifndef SRC_TRACE_PRICE_TRACE_H_
+#define SRC_TRACE_PRICE_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace flint {
+
+// A price series sampled at a fixed step. Prices are in $/hour.
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+  PriceTrace(SimDuration step_hours, std::vector<double> prices)
+      : step_(step_hours), prices_(std::move(prices)) {}
+
+  SimDuration step() const { return step_; }
+  size_t size() const { return prices_.size(); }
+  bool empty() const { return prices_.empty(); }
+  SimDuration duration() const { return step_ * static_cast<double>(prices_.size()); }
+  const std::vector<double>& prices() const { return prices_; }
+
+  // Price in effect at absolute time t (hours). Times beyond the trace wrap
+  // around, so a finite trace can drive an arbitrarily long simulation.
+  double PriceAt(SimTime t) const;
+
+  // Index of the sample covering time t (with wraparound).
+  size_t IndexAt(SimTime t) const;
+
+ private:
+  SimDuration step_ = Minutes(5);
+  std::vector<double> prices_;
+};
+
+// Statistics of a trace evaluated at a bid price.
+struct BidStats {
+  double bid = 0.0;
+  // Mean time-to-failure: mean length of maximal runs with price <= bid.
+  // Infinity when the price never exceeds the bid anywhere in the trace.
+  double mttf_hours = 0.0;
+  // Time-weighted average price over periods when the server is held
+  // (price <= bid). This is what EC2 bills (spot price, not the bid).
+  double avg_price = 0.0;
+  // Fraction of trace time the server would be held.
+  double availability = 0.0;
+  // Lengths of each individual availability run, in hours (for ECDFs, Fig 2).
+  std::vector<double> run_lengths_hours;
+};
+
+// Computes BidStats by scanning the trace once.
+BidStats ComputeBidStats(const PriceTrace& trace, double bid);
+
+// Pearson correlation of two price traces (truncated to common length).
+double TraceCorrelation(const PriceTrace& a, const PriceTrace& b);
+
+// Parameters of the synthetic peaky-price generator. Defaults approximate a
+// moderately volatile EC2 market bid at the on-demand price.
+struct SyntheticTraceParams {
+  SimDuration step = Minutes(5);
+  SimDuration duration = Hours(24.0 * 180);  // six months, like the paper's Jan-Jun 2015 traces
+  double on_demand_price = 0.35;             // $/hr (r3.large-era pricing)
+  double base_price_fraction = 0.2;          // steady-state spot price as fraction of on-demand
+  double base_noise_fraction = 0.03;         // multiplicative jitter around the base price
+  double spikes_per_hour = 1.0 / 100.0;      // spike arrival rate -> MTTF ~ 100 h at on-demand bid
+  double spike_height_min = 1.2;             // spike peak, in multiples of on-demand (min)
+  double spike_height_alpha = 1.5;           // Pareto shape for spike peaks (cap: 10x on-demand)
+  SimDuration spike_duration_mean = Minutes(30);
+  uint64_t seed = 1;
+};
+
+// Generates one synthetic trace.
+PriceTrace GenerateSyntheticTrace(const SyntheticTraceParams& params);
+
+// Generates `count` traces with independent spike processes (uncorrelated
+// markets). `correlated_pairs` lists index pairs that should instead share
+// (part of) their spike process, producing the few correlated squares seen in
+// Fig 4.
+std::vector<PriceTrace> GenerateMarketTraces(
+    const SyntheticTraceParams& params, size_t count,
+    const std::vector<std::pair<size_t, size_t>>& correlated_pairs = {});
+
+// CSV persistence: one header line "step_hours,<step>" then one price per
+// line. Round-trips through LoadTraceCsv.
+Status SaveTraceCsv(const PriceTrace& trace, const std::string& path);
+Result<PriceTrace> LoadTraceCsv(const std::string& path);
+
+}  // namespace flint
+
+#endif  // SRC_TRACE_PRICE_TRACE_H_

@@ -1,0 +1,169 @@
+#include "src/workloads/als.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/workloads/linalg.h"
+
+namespace flint {
+
+namespace {
+
+using Factor = std::vector<double>;
+
+std::vector<Factor> RandomFactors(int count, int rank, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Factor> out(static_cast<size_t>(count));
+  for (auto& f : out) {
+    f.resize(static_cast<size_t>(rank));
+    for (double& x : f) {
+      x = rng.Uniform(0.0, 1.0 / std::sqrt(static_cast<double>(rank)));
+    }
+  }
+  return out;
+}
+
+double Dot(const Factor& a, const Factor& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += a[i] * b[i];
+  }
+  return s;
+}
+
+// Solves the ridge normal equations for one entity given its ratings against
+// the other side's (fixed) factors: (F^T F + lambda*n*I) x = F^T r.
+Factor SolveEntity(const std::vector<std::pair<int, double>>& ratings,
+                   const std::vector<Factor>& other, int rank, double lambda) {
+  std::vector<double> ata(static_cast<size_t>(rank) * static_cast<size_t>(rank), 0.0);
+  std::vector<double> atb(static_cast<size_t>(rank), 0.0);
+  for (const auto& [j, r] : ratings) {
+    const Factor& f = other[static_cast<size_t>(j)];
+    for (int a = 0; a < rank; ++a) {
+      atb[static_cast<size_t>(a)] += f[static_cast<size_t>(a)] * r;
+      for (int b = 0; b < rank; ++b) {
+        ata[static_cast<size_t>(a) * rank + b] +=
+            f[static_cast<size_t>(a)] * f[static_cast<size_t>(b)];
+      }
+    }
+  }
+  const double reg = lambda * static_cast<double>(ratings.size());
+  for (int a = 0; a < rank; ++a) {
+    ata[static_cast<size_t>(a) * rank + a] += reg + 1e-9;
+  }
+  Factor x;
+  if (!CholeskySolve(std::move(ata), std::move(atb), rank, &x)) {
+    x.assign(static_cast<size_t>(rank), 0.0);
+  }
+  return x;
+}
+
+}  // namespace
+
+TypedRdd<AlsRating> AlsRatings(FlintContext& ctx, const AlsParams& params) {
+  const int users = params.num_users;
+  const int items = params.num_items;
+  const int per_user = params.ratings_per_user;
+  const int parts = params.partitions;
+  const int rank = params.rank;
+  const uint64_t seed = params.seed;
+  return Generate(
+      &ctx, parts,
+      [users, items, per_user, parts, rank, seed](int part) {
+        // Ground-truth low-rank model + noise, so ALS has signal to recover.
+        const std::vector<Factor> u_true = RandomFactors(users, rank, seed ^ 0xaaULL);
+        const std::vector<Factor> i_true = RandomFactors(items, rank, seed ^ 0xbbULL);
+        Rng rng(seed * 6364136223846793005ULL + static_cast<uint64_t>(part));
+        const int begin = static_cast<int>(static_cast<int64_t>(users) * part / parts);
+        const int end = static_cast<int>(static_cast<int64_t>(users) * (part + 1) / parts);
+        std::vector<AlsRating> ratings;
+        ratings.reserve(static_cast<size_t>(end - begin) * static_cast<size_t>(per_user));
+        for (int u = begin; u < end; ++u) {
+          for (int k = 0; k < per_user; ++k) {
+            AlsRating r;
+            r.user = u;
+            r.item = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(items)));
+            r.rating = Dot(u_true[static_cast<size_t>(u)], i_true[static_cast<size_t>(r.item)]) +
+                       rng.Normal(0.0, 0.02);
+            ratings.push_back(r);
+          }
+        }
+        return ratings;
+      },
+      "als-ratings");
+}
+
+Result<AlsResult> RunAls(FlintContext& ctx, const AlsParams& params) {
+  if (params.num_users <= 0 || params.num_items <= 0 || params.rank <= 0) {
+    return InvalidArgument("bad ALS params");
+  }
+  TypedRdd<AlsRating> ratings = AlsRatings(ctx, params);
+  ratings.Cache();
+
+  std::vector<Factor> user_factors =
+      RandomFactors(params.num_users, params.rank, params.seed ^ 0x11ULL);
+  std::vector<Factor> item_factors =
+      RandomFactors(params.num_items, params.rank, params.seed ^ 0x22ULL);
+
+  const int rank = params.rank;
+  const double lambda = params.lambda;
+  AlsResult result;
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // --- user step: group ratings by user, solve against item factors ---
+    auto by_user = GroupByKey(
+        ratings.Map([](const AlsRating& r) {
+          return std::make_pair(r.user, std::make_pair(r.item, r.rating));
+        }),
+        params.partitions, "als-by-user-" + std::to_string(iter));
+    {
+      auto items_shared = std::make_shared<const std::vector<Factor>>(item_factors);
+      auto solved = MapValues(
+          by_user,
+          [items_shared, rank, lambda](const std::vector<std::pair<int, double>>& rs) {
+            return SolveEntity(rs, *items_shared, rank, lambda);
+          },
+          "als-solve-users-" + std::to_string(iter));
+      FLINT_ASSIGN_OR_RETURN(auto rows, solved.Collect());
+      for (auto& [u, f] : rows) {
+        user_factors[static_cast<size_t>(u)] = std::move(f);
+      }
+    }
+    // --- item step: group ratings by item, solve against user factors ---
+    auto by_item = GroupByKey(
+        ratings.Map([](const AlsRating& r) {
+          return std::make_pair(r.item, std::make_pair(r.user, r.rating));
+        }),
+        params.partitions, "als-by-item-" + std::to_string(iter));
+    {
+      auto users_shared = std::make_shared<const std::vector<Factor>>(user_factors);
+      auto solved = MapValues(
+          by_item,
+          [users_shared, rank, lambda](const std::vector<std::pair<int, double>>& rs) {
+            return SolveEntity(rs, *users_shared, rank, lambda);
+          },
+          "als-solve-items-" + std::to_string(iter));
+      FLINT_ASSIGN_OR_RETURN(auto rows, solved.Collect());
+      for (auto& [i, f] : rows) {
+        item_factors[static_cast<size_t>(i)] = std::move(f);
+      }
+    }
+    result.iterations = iter + 1;
+  }
+
+  // Training RMSE.
+  auto uf = std::make_shared<const std::vector<Factor>>(user_factors);
+  auto itf = std::make_shared<const std::vector<Factor>>(item_factors);
+  auto errs = ratings.Map([uf, itf](const AlsRating& r) {
+    const double pred =
+        Dot((*uf)[static_cast<size_t>(r.user)], (*itf)[static_cast<size_t>(r.item)]);
+    const double e = pred - r.rating;
+    return e * e;
+  });
+  FLINT_ASSIGN_OR_RETURN(uint64_t n, ratings.Count());
+  FLINT_ASSIGN_OR_RETURN(double sse, errs.Reduce([](double a, double b) { return a + b; }));
+  result.rmse = n > 0 ? std::sqrt(sse / static_cast<double>(n)) : 0.0;
+  return result;
+}
+
+}  // namespace flint

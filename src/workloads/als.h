@@ -1,0 +1,46 @@
+// Alternating Least Squares matrix factorization over a synthetic low-rank
+// ratings matrix (standing in for the paper's 10 GB MovieLensALS run). Each
+// iteration alternates two GroupByKey shuffles (ratings by user, then by
+// item) with per-entity ridge-regression solves — the most shuffle-intensive
+// of the three batch workloads, matching the paper's characterization.
+
+#ifndef SRC_WORKLOADS_ALS_H_
+#define SRC_WORKLOADS_ALS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/typed_rdd.h"
+
+namespace flint {
+
+struct AlsParams {
+  int num_users = 400;
+  int num_items = 200;
+  int ratings_per_user = 20;
+  int rank = 8;
+  int iterations = 4;
+  double lambda = 0.1;  // ridge regularization
+  int partitions = 10;
+  uint64_t seed = 11;
+};
+
+struct AlsRating {
+  int user = 0;
+  int item = 0;
+  double rating = 0.0;
+};
+
+struct AlsResult {
+  double rmse = 0.0;  // training RMSE after the final iteration
+  int iterations = 0;
+};
+
+// The cached ratings RDD.
+TypedRdd<AlsRating> AlsRatings(FlintContext& ctx, const AlsParams& params);
+
+Result<AlsResult> RunAls(FlintContext& ctx, const AlsParams& params);
+
+}  // namespace flint
+
+#endif  // SRC_WORKLOADS_ALS_H_

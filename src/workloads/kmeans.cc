@@ -1,0 +1,142 @@
+#include "src/workloads/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+
+namespace flint {
+
+namespace {
+
+double SquaredDistance(const KMeansPoint& a, const KMeansPoint& b) {
+  double s = 0.0;
+  for (int d = 0; d < kKMeansDims; ++d) {
+    const double diff = a[static_cast<size_t>(d)] - b[static_cast<size_t>(d)];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// True cluster centers: deterministic lattice-ish spread in the unit cube.
+std::vector<KMeansPoint> TrueCenters(int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KMeansPoint> centers(static_cast<size_t>(k));
+  for (auto& c : centers) {
+    for (double& x : c) {
+      x = rng.NextDouble();
+    }
+  }
+  return centers;
+}
+
+// Per-cluster running sums shuffled to compute new centroids.
+struct ClusterAgg {
+  KMeansPoint sum{};
+  int64_t count = 0;
+  double sq_dist = 0.0;
+};
+
+ClusterAgg MergeAgg(const ClusterAgg& a, const ClusterAgg& b) {
+  ClusterAgg out = a;
+  for (int d = 0; d < kKMeansDims; ++d) {
+    out.sum[static_cast<size_t>(d)] += b.sum[static_cast<size_t>(d)];
+  }
+  out.count += b.count;
+  out.sq_dist += b.sq_dist;
+  return out;
+}
+
+}  // namespace
+
+TypedRdd<KMeansPoint> KMeansPoints(FlintContext& ctx, const KMeansParams& params) {
+  const int n = params.num_points;
+  const int parts = params.partitions;
+  const int k = params.k;
+  const double stddev = params.cluster_stddev;
+  const uint64_t seed = params.seed;
+  return Generate(
+      &ctx, parts,
+      [n, parts, k, stddev, seed](int part) {
+        Rng rng(seed * 7919ULL + static_cast<uint64_t>(part));
+        const std::vector<KMeansPoint> centers = TrueCenters(k, seed);
+        const int begin = static_cast<int>(static_cast<int64_t>(n) * part / parts);
+        const int end = static_cast<int>(static_cast<int64_t>(n) * (part + 1) / parts);
+        std::vector<KMeansPoint> points;
+        points.reserve(static_cast<size_t>(end - begin));
+        for (int i = begin; i < end; ++i) {
+          const auto c = rng.UniformInt(static_cast<uint64_t>(k));
+          KMeansPoint p;
+          for (int d = 0; d < kKMeansDims; ++d) {
+            p[static_cast<size_t>(d)] =
+                centers[c][static_cast<size_t>(d)] + rng.Normal(0.0, stddev);
+          }
+          points.push_back(p);
+        }
+        return points;
+      },
+      "kmeans-points");
+}
+
+Result<KMeansResult> RunKMeans(FlintContext& ctx, const KMeansParams& params) {
+  if (params.num_points <= 0 || params.k <= 0 || params.iterations <= 0) {
+    return InvalidArgument("bad KMeans params");
+  }
+  TypedRdd<KMeansPoint> points = KMeansPoints(ctx, params);
+  points.Cache();
+
+  // Initial centroids: the generator's true centers perturbed, so runs are
+  // deterministic without a sampling pass.
+  std::vector<KMeansPoint> centroids = TrueCenters(params.k, params.seed ^ 0xc0ffeeULL);
+
+  KMeansResult result;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    auto shared = std::make_shared<const std::vector<KMeansPoint>>(centroids);
+    // Assignment + per-partition partial aggregation (one pass, like mllib).
+    auto partials = points.MapPartitions(
+        [shared](const std::vector<KMeansPoint>& rows) {
+          std::vector<std::pair<int, ClusterAgg>> aggs(shared->size());
+          for (size_t c = 0; c < shared->size(); ++c) {
+            aggs[c].first = static_cast<int>(c);
+          }
+          for (const auto& p : rows) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < shared->size(); ++c) {
+              const double d = SquaredDistance(p, (*shared)[c]);
+              if (d < best_d) {
+                best_d = d;
+                best = static_cast<int>(c);
+              }
+            }
+            ClusterAgg& agg = aggs[static_cast<size_t>(best)].second;
+            for (int d = 0; d < kKMeansDims; ++d) {
+              agg.sum[static_cast<size_t>(d)] += p[static_cast<size_t>(d)];
+            }
+            agg.count += 1;
+            agg.sq_dist += best_d;
+          }
+          return aggs;
+        },
+        "kmeans-assign-" + std::to_string(iter));
+    auto reduced = ReduceByKey(partials, params.partitions, MergeAgg,
+                               "kmeans-update-" + std::to_string(iter));
+    FLINT_ASSIGN_OR_RETURN(auto rows, reduced.Collect());
+
+    result.inertia = 0.0;
+    for (const auto& [c, agg] : rows) {
+      result.inertia += agg.sq_dist;
+      if (agg.count > 0) {
+        for (int d = 0; d < kKMeansDims; ++d) {
+          centroids[static_cast<size_t>(c)][static_cast<size_t>(d)] =
+              agg.sum[static_cast<size_t>(d)] / static_cast<double>(agg.count);
+        }
+      }
+    }
+    result.iterations = iter + 1;
+  }
+  result.centroids = centroids;
+  return result;
+}
+
+}  // namespace flint

@@ -1,0 +1,42 @@
+// KMeans clustering over a synthetic Gaussian-mixture dataset (standing in
+// for the paper's 16 GB mllib.DenseKMeans run): compute-intensive narrow maps
+// plus one small shuffle per iteration. Centroids are driver-resident between
+// iterations, mirroring Spark's broadcast.
+
+#ifndef SRC_WORKLOADS_KMEANS_H_
+#define SRC_WORKLOADS_KMEANS_H_
+
+#include <array>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/typed_rdd.h"
+
+namespace flint {
+
+inline constexpr int kKMeansDims = 8;
+using KMeansPoint = std::array<double, kKMeansDims>;
+
+struct KMeansParams {
+  int num_points = 20000;
+  int k = 8;
+  int partitions = 10;
+  int iterations = 5;
+  double cluster_stddev = 0.15;
+  uint64_t seed = 7;
+};
+
+struct KMeansResult {
+  std::vector<KMeansPoint> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+  int iterations = 0;
+};
+
+// The cached input points RDD.
+TypedRdd<KMeansPoint> KMeansPoints(FlintContext& ctx, const KMeansParams& params);
+
+Result<KMeansResult> RunKMeans(FlintContext& ctx, const KMeansParams& params);
+
+}  // namespace flint
+
+#endif  // SRC_WORKLOADS_KMEANS_H_

@@ -1,0 +1,56 @@
+// Tiny dense linear algebra for the ALS workload: k x k symmetric positive
+// definite solves via Cholesky. k is the ALS rank (small, typically 8), so
+// this stays simple and allocation-light.
+
+#ifndef SRC_WORKLOADS_LINALG_H_
+#define SRC_WORKLOADS_LINALG_H_
+
+#include <cmath>
+#include <vector>
+
+namespace flint {
+
+// Solves A x = b in place for symmetric positive definite A (row-major k*k).
+// Returns false if the factorization breaks down (A not SPD).
+inline bool CholeskySolve(std::vector<double> a, std::vector<double> b, int k,
+                          std::vector<double>* x) {
+  // Factor A = L L^T.
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i) * k + j];
+      for (int p = 0; p < j; ++p) {
+        sum -= a[static_cast<size_t>(i) * k + p] * a[static_cast<size_t>(j) * k + p];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          return false;
+        }
+        a[static_cast<size_t>(i) * k + j] = std::sqrt(sum);
+      } else {
+        a[static_cast<size_t>(i) * k + j] = sum / a[static_cast<size_t>(j) * k + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  for (int i = 0; i < k; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int p = 0; p < i; ++p) {
+      sum -= a[static_cast<size_t>(i) * k + p] * b[static_cast<size_t>(p)];
+    }
+    b[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * k + i];
+  }
+  // Back substitution: L^T x = y.
+  x->assign(static_cast<size_t>(k), 0.0);
+  for (int i = k - 1; i >= 0; --i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int p = i + 1; p < k; ++p) {
+      sum -= a[static_cast<size_t>(p) * k + i] * (*x)[static_cast<size_t>(p)];
+    }
+    (*x)[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * k + i];
+  }
+  return true;
+}
+
+}  // namespace flint
+
+#endif  // SRC_WORKLOADS_LINALG_H_

@@ -1,0 +1,43 @@
+// PageRank over a synthetic power-law web graph (standing in for the paper's
+// 2 GB LiveJournal graph). The Spark-idiomatic implementation: adjacency
+// lists cached, per-iteration Join + FlatMap + ReduceByKey — one shuffle-heavy
+// job creating many RDDs, which is why the paper uses it to stress the
+// checkpointing policy.
+
+#ifndef SRC_WORKLOADS_PAGERANK_H_
+#define SRC_WORKLOADS_PAGERANK_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/typed_rdd.h"
+
+namespace flint {
+
+struct PageRankParams {
+  int num_vertices = 2000;
+  int edges_per_vertex = 8;
+  int partitions = 10;
+  int iterations = 5;
+  double damping = 0.85;
+  uint64_t seed = 1;
+};
+
+struct PageRankResult {
+  // Top vertices by rank, descending.
+  std::vector<std::pair<int, double>> top;
+  double rank_sum = 0.0;
+  int iterations = 0;
+};
+
+// Generates the edge list as an RDD (deterministic in params.seed).
+PairRdd<int, int> PageRankEdges(FlintContext& ctx, const PageRankParams& params);
+
+// Runs the full workload: build graph, iterate, collect top `top_n` ranks.
+Result<PageRankResult> RunPageRank(FlintContext& ctx, const PageRankParams& params,
+                                   int top_n = 10);
+
+}  // namespace flint
+
+#endif  // SRC_WORKLOADS_PAGERANK_H_

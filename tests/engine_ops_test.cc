@@ -1,0 +1,163 @@
+// Tests for the extended operator surface (typed_rdd_ops.h): Union,
+// Distinct, Sample, SortBy, CoGroup, LeftOuterJoin, Take/First, Keys/Values —
+// including behaviour across revocations.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/engine/typed_rdd_ops.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(EngineOpsTest, UnionConcatenatesBothSides) {
+  EngineHarness h;
+  auto a = Parallelize(&h.ctx(), std::vector<int>{1, 2, 3}, 2);
+  auto b = Parallelize(&h.ctx(), std::vector<int>{4, 5}, 1);
+  auto u = Union(a, b);
+  EXPECT_EQ(u.num_partitions(), 3);
+  auto out = u.Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EngineOpsTest, UnionOfEmptyIsEmpty) {
+  EngineHarness h;
+  auto a = Parallelize(&h.ctx(), std::vector<int>{}, 1);
+  auto b = Parallelize(&h.ctx(), std::vector<int>{}, 1);
+  auto count = Union(a, b).Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST(EngineOpsTest, DistinctRemovesDuplicates) {
+  EngineHarness h;
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(i % 17);
+  }
+  auto out = Distinct(Parallelize(&h.ctx(), data, 4), 3).Collect();
+  ASSERT_TRUE(out.ok());
+  std::set<int> got(out->begin(), out->end());
+  EXPECT_EQ(out->size(), got.size());  // no dupes survive
+  EXPECT_EQ(got.size(), 17u);
+}
+
+TEST(EngineOpsTest, SampleIsDeterministicAndApproximate) {
+  EngineHarness h;
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto base = Parallelize(&h.ctx(), data, 8);
+  auto s1 = Sample(base, 0.25, /*seed=*/9).Collect();
+  auto s2 = Sample(base, 0.25, /*seed=*/9).Collect();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_NEAR(static_cast<double>(s1->size()), 2500.0, 200.0);
+}
+
+TEST(EngineOpsTest, SortByOrdersGlobally) {
+  EngineHarness h;
+  Rng rng(4);
+  std::vector<int> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(static_cast<int>(rng.UniformInt(100000)));
+  }
+  auto sorted = SortBy(Parallelize(&h.ctx(), data, 6), [](const int& x) { return x; }).Collect();
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->size(), data.size());
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end()));
+}
+
+TEST(EngineOpsTest, CoGroupCollectsBothSides) {
+  EngineHarness h;
+  std::vector<std::pair<int, int>> left = {{1, 10}, {1, 11}, {2, 20}};
+  std::vector<std::pair<int, double>> right = {{1, 0.5}, {3, 0.25}};
+  auto cg = CoGroup(Parallelize(&h.ctx(), left, 2), Parallelize(&h.ctx(), right, 2), 2);
+  auto out = cg.Collect();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);  // keys 1, 2, 3
+  for (const auto& [k, vw] : *out) {
+    if (k == 1) {
+      EXPECT_EQ(vw.first.size(), 2u);
+      EXPECT_EQ(vw.second.size(), 1u);
+    } else if (k == 2) {
+      EXPECT_EQ(vw.first.size(), 1u);
+      EXPECT_TRUE(vw.second.empty());
+    } else {
+      EXPECT_TRUE(vw.first.empty());
+      EXPECT_EQ(vw.second.size(), 1u);
+    }
+  }
+}
+
+TEST(EngineOpsTest, LeftOuterJoinKeepsUnmatchedLeftRows) {
+  EngineHarness h;
+  std::vector<std::pair<int, int>> left = {{1, 10}, {2, 20}};
+  std::vector<std::pair<int, double>> right = {{1, 0.5}};
+  auto j = LeftOuterJoin(Parallelize(&h.ctx(), left, 1), Parallelize(&h.ctx(), right, 1), 2);
+  auto out = j.Collect();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  for (const auto& [k, vw] : *out) {
+    if (k == 1) {
+      ASSERT_TRUE(vw.second.has_value());
+      EXPECT_DOUBLE_EQ(*vw.second, 0.5);
+    } else {
+      EXPECT_FALSE(vw.second.has_value());
+    }
+  }
+}
+
+TEST(EngineOpsTest, TakeAndFirst) {
+  EngineHarness h;
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = Parallelize(&h.ctx(), data, 4);
+  auto taken = Take(rdd, 5);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(*taken, (std::vector<int>{0, 1, 2, 3, 4}));
+  auto first = First(rdd);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);
+  auto empty = Parallelize(&h.ctx(), std::vector<int>{}, 1);
+  EXPECT_EQ(First(empty).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineOpsTest, KeysValuesProject) {
+  EngineHarness h;
+  std::vector<std::pair<int, double>> data = {{1, 0.5}, {2, 0.25}};
+  auto rdd = Parallelize(&h.ctx(), data, 1);
+  auto keys = Keys(rdd).Collect();
+  auto values = Values(rdd).Collect();
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*keys, (std::vector<int>{1, 2}));
+  EXPECT_EQ(*values, (std::vector<double>{0.5, 0.25}));
+}
+
+TEST(EngineOpsTest, DistinctSurvivesRevocation) {
+  EngineHarness h;
+  std::vector<int> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(i % 97);
+  }
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  auto d = Distinct(base, 4);
+  auto before = d.Count();
+  ASSERT_TRUE(before.ok());
+  h.RevokeNodes(2);
+  auto after = Distinct(base, 4).Count();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  EXPECT_EQ(*after, 97u);
+}
+
+}  // namespace
+}  // namespace flint

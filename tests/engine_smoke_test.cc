@@ -1,0 +1,135 @@
+// End-to-end smoke tests for the engine: typed pipelines, shuffles, caching,
+// and recomputation across revocations. These gate everything else — if they
+// fail, module-level failures are secondary.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/engine/typed_rdd.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(EngineSmoke, ParallelizeCollectRoundTrips) {
+  EngineHarness h;
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = Parallelize(&h.ctx(), data, 4);
+  auto out = rdd.Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, data);
+}
+
+TEST(EngineSmoke, MapFilterCount) {
+  EngineHarness h;
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = Parallelize(&h.ctx(), data, 8)
+                 .Map([](const int& x) { return x * 2; })
+                 .Filter([](const int& x) { return x % 4 == 0; });
+  auto count = rdd.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 500u);
+}
+
+TEST(EngineSmoke, ReduceByKeyMatchesReference) {
+  EngineHarness h;
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 500; ++i) {
+    data.emplace_back(i % 7, i);
+  }
+  auto rdd = ReduceByKey(Parallelize(&h.ctx(), data, 5), 3,
+                         [](int a, int b) { return a + b; });
+  auto out = rdd.Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  std::map<int, int> expect;
+  for (const auto& [k, v] : data) {
+    expect[k] += v;
+  }
+  std::map<int, int> got(out->begin(), out->end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EngineSmoke, JoinInner) {
+  EngineHarness h;
+  std::vector<std::pair<int, int>> left = {{1, 10}, {2, 20}, {3, 30}};
+  std::vector<std::pair<int, double>> right = {{2, 0.5}, {3, 0.25}, {4, 0.125}};
+  auto joined = Join(Parallelize(&h.ctx(), left, 2), Parallelize(&h.ctx(), right, 2), 2);
+  auto out = joined.Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  std::map<int, std::pair<int, double>> got;
+  for (const auto& [k, vw] : *out) {
+    got[k] = vw;
+  }
+  EXPECT_EQ(got[2], std::make_pair(20, 0.5));
+  EXPECT_EQ(got[3], std::make_pair(30, 0.25));
+}
+
+TEST(EngineSmoke, RevocationMidLineageRecomputes) {
+  EngineHarness h;
+  std::vector<int> data(2000);
+  std::iota(data.begin(), data.end(), 0);
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  auto squared = base.Map([](const int& x) { return static_cast<int64_t>(x) * x; });
+  auto sum1 = squared.Reduce([](int64_t a, int64_t b) { return a + b; });
+  ASSERT_TRUE(sum1.ok());
+
+  // Kill half the cluster: cached partitions on those nodes are gone.
+  h.RevokeNodes(2);
+  ASSERT_EQ(h.cluster().NumLiveNodes(), 2u);
+
+  auto sum2 = squared.Reduce([](int64_t a, int64_t b) { return a + b; });
+  ASSERT_TRUE(sum2.ok()) << sum2.status().ToString();
+  EXPECT_EQ(*sum1, *sum2);
+  EXPECT_GT(h.ctx().counters().partitions_recomputed.load(), 0u);
+}
+
+TEST(EngineSmoke, ShuffleOutputLossTriggersStageRerun) {
+  EngineHarness h;
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.emplace_back(i % 13, 1);
+  }
+  auto counts = ReduceByKey(Parallelize(&h.ctx(), data, 6), 4,
+                            [](int a, int b) { return a + b; });
+  counts.Cache();
+  ASSERT_TRUE(counts.Materialize().ok());
+
+  // Lose shuffle outputs and cached results on two nodes, then re-derive a
+  // child RDD: fetch failures must re-run the map stage transparently.
+  h.RevokeNodes(2);
+  auto total = counts.Map([](const std::pair<int, int>& kv) { return kv.second; })
+                   .Reduce([](int a, int b) { return a + b; });
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ(*total, 1000);
+}
+
+TEST(EngineSmoke, WholeClusterRevocationParksUntilReplacement) {
+  EngineHarness h;
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = Parallelize(&h.ctx(), data, 4).Map([](const int& x) { return x + 1; });
+
+  // Revoke everything, then add a replacement shortly after from another
+  // thread; the job must stall and then complete.
+  h.RevokeNodes(4);
+  ASSERT_EQ(h.cluster().NumLiveNodes(), 0u);
+  std::thread rescuer([&h] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h.AddNode();
+  });
+  auto count = rdd.Count();
+  rescuer.join();
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 100u);
+  EXPECT_GT(h.ctx().counters().acquisition_wait_nanos.load(), 0);
+}
+
+}  // namespace
+}  // namespace flint

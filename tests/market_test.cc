@@ -1,0 +1,140 @@
+// Tests for the spot-market simulator: price replay, revocation prediction,
+// EC2-style billing, acquisition semantics, and the marketplace aggregates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/market/marketplace.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::MakeSpikyMarket;
+
+SpotMarket SpikyMarket() {
+  // Base 0.1, spike to 5.0 during hours [10, 12), 48 hours total.
+  return SpotMarket(MakeSpikyMarket("m", /*on_demand=*/1.0, /*base=*/0.1, /*spike=*/5.0,
+                                    /*hours=*/48, /*spike_begin=*/10, /*spike_end=*/12));
+}
+
+TEST(SpotMarketTest, NextRevocationFindsTheSpike) {
+  SpotMarket market = SpikyMarket();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(market.NextRevocation(0.0, 1.0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(market.NextRevocation(5.5, 1.0, rng), 10.0);
+  // During the spike, revocation is immediate.
+  EXPECT_DOUBLE_EQ(market.NextRevocation(10.5, 1.0, rng), 10.5);
+  // After the spike, the trace wraps: next crossing is 48 + 10.
+  EXPECT_DOUBLE_EQ(market.NextRevocation(13.0, 1.0, rng), 58.0);
+}
+
+TEST(SpotMarketTest, HighBidSurvivesTheSpike) {
+  SpotMarket market = SpikyMarket();
+  Rng rng(1);
+  EXPECT_TRUE(std::isinf(market.NextRevocation(0.0, 6.0, rng)));
+}
+
+TEST(SpotMarketTest, NextAvailabilitySkipsTheSpike) {
+  SpotMarket market = SpikyMarket();
+  EXPECT_DOUBLE_EQ(market.NextAvailability(10.5, 1.0), 12.0);
+  EXPECT_DOUBLE_EQ(market.NextAvailability(3.0, 1.0), 3.0);
+}
+
+TEST(SpotMarketTest, BillingChargesHourlyAtStartPrice) {
+  SpotMarket market = SpikyMarket();
+  // Hold [0, 3): three hours at 0.1 each.
+  EXPECT_NEAR(market.BillServer(0.0, 3.0, /*revoked=*/false), 0.3, 1e-12);
+  // Partial final hour is billed when the user terminates...
+  EXPECT_NEAR(market.BillServer(0.0, 2.5, /*revoked=*/false), 0.3, 1e-12);
+  // ...but free when the provider revokes (EC2 policy).
+  EXPECT_NEAR(market.BillServer(0.0, 2.5, /*revoked=*/true), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(market.BillServer(5.0, 5.0, false), 0.0);
+}
+
+TEST(SpotMarketTest, GceFixedPricePoolsSampleLifetimes) {
+  MarketDesc desc;
+  desc.name = "preemptible";
+  desc.on_demand_price = 0.05;
+  desc.fixed_price = true;
+  desc.fixed_price_value = 0.015;
+  desc.fixed_mttf_hours = 21.0;
+  desc.max_lifetime_hours = 24.0;
+  SpotMarket market(std::move(desc));
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime rev = market.NextRevocation(100.0, 0.0, rng);
+    EXPECT_GT(rev, 100.0);
+    EXPECT_LE(rev, 124.0);  // 24h cap
+  }
+  EXPECT_DOUBLE_EQ(market.PriceAt(55.0), 0.015);
+  const BidStats stats = market.StatsAtBid(1.0);
+  EXPECT_DOUBLE_EQ(stats.mttf_hours, 21.0);
+}
+
+TEST(MarketplaceTest, AcquireOnDemandNeverRevokes) {
+  Marketplace mp({}, 0.35, 1);
+  auto lease = mp.Acquire(kOnDemandMarket, 0.35, 5.0);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(std::isinf(lease->revocation));
+  // Two full hours on demand.
+  EXPECT_NEAR(mp.Cost(*lease, 6.5), 2 * 0.35, 1e-12);
+}
+
+TEST(MarketplaceTest, AcquireRespectsBidCap) {
+  std::vector<MarketDesc> markets = {MakeSpikyMarket("m", 1.0, 0.1, 5.0, 48, 10, 12)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  EXPECT_EQ(mp.Acquire(0, 11.0, 0.0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mp.Acquire(0, 10.0, 0.0).ok());
+}
+
+TEST(MarketplaceTest, AcquireDuringSpikeIsUnavailable) {
+  std::vector<MarketDesc> markets = {MakeSpikyMarket("m", 1.0, 0.1, 5.0, 48, 10, 12)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  EXPECT_EQ(mp.Acquire(0, 1.0, 10.5).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(mp.Acquire(0, 1.0, 13.0).ok());
+}
+
+TEST(MarketplaceTest, RevokedLeaseFinalPartialHourIsFree) {
+  std::vector<MarketDesc> markets = {MakeSpikyMarket("m", 1.0, 0.1, 5.0, 48, 10, 12)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  auto lease = mp.Acquire(0, 1.0, 8.0);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_DOUBLE_EQ(lease->revocation, 10.0);
+  // Held [8, 10): 2 full hours billed; billing caps at the revocation even if
+  // the caller passes a later end.
+  EXPECT_NEAR(mp.Cost(*lease, 11.0), 0.2, 1e-12);
+}
+
+TEST(MarketplaceTest, WindowStatsSeeOnlyRecentHistory) {
+  // Spike early in the trace; a window that excludes it sees infinite MTTF.
+  std::vector<MarketDesc> markets = {MakeSpikyMarket("m", 1.0, 0.1, 5.0, 200, 5, 7)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  const BidStats recent = mp.WindowStats(0, /*now=*/150.0, /*window=*/50.0, 1.0);
+  EXPECT_TRUE(std::isinf(recent.mttf_hours));
+  const BidStats full = mp.Stats(0, 1.0);
+  EXPECT_FALSE(std::isinf(full.mttf_hours));
+}
+
+TEST(MarketplaceTest, PriceNearAverageFlagsSpikes) {
+  std::vector<MarketDesc> markets = {MakeSpikyMarket("m", 1.0, 0.1, 5.0, 48, 10, 12)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  EXPECT_TRUE(mp.PriceNearAverage(0, /*now=*/5.0, Hours(48), 0.10));
+  EXPECT_FALSE(mp.PriceNearAverage(0, /*now=*/10.5, Hours(48), 0.10));
+}
+
+TEST(MarketplaceTest, CorrelationMatrixIsSymmetricWithUnitDiagonal) {
+  Marketplace mp(RegionMarkets(6, 9), 0.35, 9);
+  const auto corr = mp.CorrelationMatrix();
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(corr[i][i], 1.0);
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(corr[i][j], corr[j][i]);
+      EXPECT_LE(std::fabs(corr[i][j]), 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flint

@@ -1,0 +1,203 @@
+// Tests for the server-selection policies (Sec 3.1.2 / 3.2.2) against
+// hand-crafted market sets where the optimal answer is known.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/select/selection.h"
+#include "src/trace/market_catalog.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::MakeSpikyMarket;
+
+// Three markets:
+//   0 "cheap-volatile": base 0.05, spikes every ~20h.
+//   1 "mid-stable":     base 0.10, no spikes.
+//   2 "pricey-stable":  base 0.20, no spikes.
+Marketplace TestMarketplace() {
+  std::vector<MarketDesc> markets;
+  {
+    std::vector<double> prices(24 * 40, 0.05);
+    for (size_t i = 0; i < prices.size(); i += 20) {
+      prices[i] = 5.0;  // short spike every 20 hours
+    }
+    MarketDesc m;
+    m.name = "cheap-volatile";
+    m.on_demand_price = 1.0;
+    m.trace = testing::MakeTrace(std::move(prices));
+    markets.push_back(std::move(m));
+  }
+  markets.push_back(MakeSpikyMarket("mid-stable", 1.0, 0.10, 0.10, 24 * 40, 0, 0));
+  markets.push_back(MakeSpikyMarket("pricey-stable", 1.0, 0.20, 0.20, 24 * 40, 0, 0));
+  return Marketplace(std::move(markets), /*on_demand_price=*/1.0, /*seed=*/1);
+}
+
+JobProfile CheapCheckpointJob() {
+  JobProfile job;
+  job.delta_hours = Minutes(1);
+  job.rd_hours = Minutes(2);
+  return job;
+}
+
+TEST(SelectorTest, BatchPicksMinimumExpectedCost) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  // With a cheap checkpoint, the volatile market's price advantage wins:
+  // E[C] ~ 0.05 * small factor < 0.10.
+  // Probe off-spike (the spike sits on exact 20h multiples).
+  auto best = selector.SelectBatch(Hours(24.0 * 20) + 10.5, CheapCheckpointJob());
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->id, 0);
+  EXPECT_LT(best->expected_unit_cost, 0.10);
+}
+
+TEST(SelectorTest, ExpensiveRecoveryFlipsTheChoice) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  JobProfile heavy;
+  heavy.delta_hours = Hours(2.0);  // checkpointing is brutal
+  heavy.rd_hours = Hours(1.0);
+  auto best = selector.SelectBatch(Hours(24.0 * 20), heavy);
+  ASSERT_TRUE(best.ok());
+  // The volatile market's Eq.1 factor explodes; a stable market wins.
+  EXPECT_EQ(best->id, 1);
+}
+
+TEST(SelectorTest, OnDemandWinsWhenEverySpotMarketIsWorse) {
+  // One market that is almost always spiking.
+  std::vector<MarketDesc> markets = {
+      MakeSpikyMarket("awful", 1.0, 0.9, 5.0, 100, 1, 99)};
+  Marketplace mp(std::move(markets), 1.0, 1);
+  ServerSelector selector(&mp, SelectionConfig{});
+  auto best = selector.SelectBatch(Hours(50), CheapCheckpointJob());
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->id, kOnDemandMarket);
+}
+
+TEST(SelectorTest, EvaluationsSortedByExpectedCost) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  auto evs = selector.EvaluateMarkets(Hours(24.0 * 20), CheapCheckpointJob());
+  ASSERT_GE(evs.size(), 3u);
+  for (size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_LE(evs[i - 1].expected_unit_cost, evs[i].expected_unit_cost);
+  }
+  // The on-demand pool is always present, with factor exactly 1.
+  bool saw_on_demand = false;
+  for (const auto& ev : evs) {
+    if (ev.id == kOnDemandMarket) {
+      saw_on_demand = true;
+      EXPECT_DOUBLE_EQ(ev.expected_factor, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_on_demand);
+}
+
+TEST(SelectorTest, SpotFleetBaselinesIgnoreRevocationCost) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  auto cheapest = selector.SelectCheapest(Hours(24.0 * 20) + 10.5, CheapCheckpointJob());
+  ASSERT_TRUE(cheapest.ok());
+  EXPECT_EQ(cheapest->id, 0);  // lowest $/h, volatility be damned
+  auto stable = selector.SelectLeastVolatile(Hours(24.0 * 20) + 10.5, CheapCheckpointJob());
+  ASSERT_TRUE(stable.ok());
+  EXPECT_NE(stable->id, 0);  // any never-revoking market beats the volatile one
+  EXPECT_TRUE(std::isinf(stable->mttf_hours));
+}
+
+TEST(SelectorTest, ReplacementExcludesTheRevokedMarket) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  auto repl = selector.SelectReplacement(SelectionPolicyKind::kFlintBatch, Hours(24.0 * 20),
+                                         CheapCheckpointJob(), {0});
+  ASSERT_TRUE(repl.ok());
+  EXPECT_NE(repl->id, 0);
+}
+
+TEST(SelectorTest, BidPolicyDefaultsToOnDemandPrice) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  EXPECT_DOUBLE_EQ(selector.BidFor(0), 1.0);
+  SelectionConfig doubled;
+  doubled.bid_multiple = 2.0;
+  ServerSelector aggressive(&mp, doubled);
+  EXPECT_DOUBLE_EQ(aggressive.BidFor(0), 2.0);
+}
+
+TEST(SelectorTest, UncorrelatedSetAvoidsCorrelatedPairs) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 60);
+  params.spikes_per_hour = 1.0 / 25.0;
+  params.seed = 31;
+  // Markets 0 and 1 share a spike process; 2..5 are independent.
+  auto traces = GenerateMarketTraces(params, 6, {{0, 1}});
+  std::vector<MarketDesc> markets;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    MarketDesc m;
+    m.name = "m" + std::to_string(i);
+    m.on_demand_price = 0.35;
+    m.trace = std::move(traces[i]);
+    markets.push_back(std::move(m));
+  }
+  Marketplace mp(std::move(markets), 0.35, 31);
+  SelectionConfig config;
+  config.max_candidate_set = 5;
+  ServerSelector selector(&mp, config);
+  const std::vector<MarketId> set = selector.UncorrelatedSet(5);
+  int linked = 0;
+  for (MarketId id : set) {
+    if (id == 0 || id == 1) {
+      ++linked;
+    }
+  }
+  // At most one of the correlated pair may appear.
+  EXPECT_LE(linked, 1);
+}
+
+TEST(SelectorTest, InteractiveMixReducesVariance) {
+  // All-volatile region: every pool has a finite MTTF, so diversification
+  // has variance to remove (a calm pool with infinite MTTF would already
+  // have zero variance and the greedy search would rightly stop at m=1).
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 90);
+  params.spikes_per_hour = 1.0 / 30.0;
+  params.seed = 41;
+  auto traces = GenerateMarketTraces(params, 8);
+  std::vector<MarketDesc> descs;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    MarketDesc m;
+    m.name = "v" + std::to_string(i);
+    m.on_demand_price = 0.35;
+    m.trace = std::move(traces[i]);
+    descs.push_back(std::move(m));
+  }
+  Marketplace mp(std::move(descs), 0.35, 5);
+  ServerSelector selector(&mp, SelectionConfig{});
+  const SimTime now = Hours(24.0 * 30);
+  auto mix = selector.SelectInteractive(now, CheapCheckpointJob());
+  ASSERT_TRUE(mix.ok());
+  ASSERT_GE(mix->markets.size(), 2u);
+  // The chosen mix must beat its own first market alone on variance and stay
+  // below the on-demand cost.
+  const MixEvaluation solo = selector.EvaluateMix({mix->markets.front()}, now,
+                                                  CheapCheckpointJob());
+  EXPECT_LT(mix->runtime_variance, solo.runtime_variance);
+  EXPECT_LT(mix->expected_unit_cost, mp.on_demand_price());
+}
+
+TEST(SelectorTest, MixEvaluationUsesHarmonicMttf) {
+  Marketplace mp = TestMarketplace();
+  ServerSelector selector(&mp, SelectionConfig{});
+  const auto mix = selector.EvaluateMix({1, 2}, Hours(24.0 * 20), CheapCheckpointJob());
+  // Both markets never revoke in-trace -> aggregate MTTF infinite, factor 1.
+  EXPECT_TRUE(std::isinf(mix.aggregate_mttf_hours));
+  EXPECT_DOUBLE_EQ(mix.expected_factor, 1.0);
+  EXPECT_NEAR(mix.expected_unit_cost, (0.10 + 0.20) / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace flint

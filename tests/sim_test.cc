@@ -1,0 +1,148 @@
+// Tests for the long-horizon simulators: Monte-Carlo agreement with the
+// closed forms, baseline orderings, and trace-driven strategy results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/checkpoint/checkpoint_policy.h"
+#include "src/sim/monte_carlo.h"
+#include "src/sim/trace_sim.h"
+#include "src/trace/market_catalog.h"
+
+namespace flint {
+namespace {
+
+TEST(MonteCarloTest, NoFailuresMeansFactorNearOne) {
+  CanonicalJob job;
+  McConfig cfg;
+  cfg.mttf_hours = std::numeric_limits<double>::infinity();
+  cfg.trials = 100;
+  const McResult r = SimulateCanonicalJob(job, cfg);
+  EXPECT_DOUBLE_EQ(r.mean_factor, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_revocations, 0.0);
+}
+
+TEST(MonteCarloTest, AgreesWithEq1WithinTolerance) {
+  CanonicalJob job;
+  for (double mttf : {5.0, 20.0, 80.0}) {
+    McConfig cfg;
+    cfg.mttf_hours = mttf;
+    cfg.trials = 8000;
+    cfg.seed = 42;
+    const McResult mc = SimulateCanonicalJob(job, cfg);
+    const double analytic = ExpectedRuntimeFactor(job.delta_hours(), job.rd_hours, mttf, 1);
+    EXPECT_NEAR(mc.mean_factor, analytic, 0.05 * analytic) << "mttf=" << mttf;
+  }
+}
+
+TEST(MonteCarloTest, RecomputeOnlyIsNeverCheaper) {
+  CanonicalJob job;
+  for (double mttf : {5.0, 20.0, 80.0}) {
+    McConfig with;
+    with.mttf_hours = mttf;
+    with.trials = 4000;
+    with.seed = 7;
+    McConfig without = with;
+    without.checkpointing = false;
+    const McResult a = SimulateCanonicalJob(job, with);
+    const McResult b = SimulateCanonicalJob(job, without);
+    EXPECT_LE(a.mean_factor, b.mean_factor * 1.02) << "mttf=" << mttf;
+  }
+}
+
+TEST(MonteCarloTest, FactorShrinksWithMttf) {
+  CanonicalJob job;
+  double prev = std::numeric_limits<double>::infinity();
+  for (double mttf : {2.0, 8.0, 32.0, 128.0}) {
+    McConfig cfg;
+    cfg.mttf_hours = mttf;
+    cfg.trials = 4000;
+    cfg.seed = 9;
+    const double f = SimulateCanonicalJob(job, cfg).mean_factor;
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(MonteCarloTest, MoreMarketsReduceSpread) {
+  CanonicalJob job;
+  McConfig one;
+  one.mttf_hours = 10.0;
+  one.num_markets = 1;
+  one.trials = 6000;
+  one.seed = 5;
+  McConfig four = one;
+  four.num_markets = 4;
+  four.mttf_hours = 10.0 / 4.0;  // same per-market MTTF, harmonic aggregate
+  const McResult m1 = SimulateCanonicalJob(job, one);
+  const McResult m4 = SimulateCanonicalJob(job, four);
+  EXPECT_LT(m4.factor_stddev, m1.factor_stddev);
+}
+
+TEST(MonteCarloTest, ForcedIntervalIsWorseThanDaly) {
+  CanonicalJob job;
+  McConfig opt;
+  opt.mttf_hours = 10.0;
+  opt.trials = 6000;
+  opt.seed = 21;
+  const double tau_opt = OptimalCheckpointInterval(job.delta_hours(), 10.0);
+  const double at_opt = SimulateCanonicalJob(job, opt).mean_factor;
+  for (double scale : {0.1, 8.0}) {
+    McConfig forced = opt;
+    forced.forced_tau_hours = tau_opt * scale;
+    EXPECT_GT(SimulateCanonicalJob(job, forced).mean_factor, at_opt) << "scale " << scale;
+  }
+}
+
+class TraceSimTest : public ::testing::Test {
+ protected:
+  TraceSimTest() : marketplace_(RegionMarkets(12, 13), 0.35, 13), sim_(&marketplace_) {}
+
+  StrategyResult Run(SelectionPolicyKind policy, bool checkpointing, double fee = 0.0) {
+    StrategyConfig cfg;
+    cfg.policy = policy;
+    cfg.checkpointing = checkpointing;
+    cfg.fee_fraction_of_on_demand = fee;
+    cfg.trials = 60;
+    cfg.seed = 99;
+    return sim_.Run(CanonicalJob{}, cfg);
+  }
+
+  Marketplace marketplace_;
+  TraceSimulator sim_;
+};
+
+TEST_F(TraceSimTest, OnDemandIsTheUnitReference) {
+  const StrategyResult r = Run(SelectionPolicyKind::kOnDemand, false);
+  EXPECT_NEAR(r.normalized_unit_cost, 1.0, 1e-6);
+  EXPECT_NEAR(r.mean_factor, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.mean_revocation_events, 0.0);
+}
+
+TEST_F(TraceSimTest, FlintBatchSavesMostOfTheOnDemandCost) {
+  const StrategyResult r = Run(SelectionPolicyKind::kFlintBatch, true);
+  EXPECT_LT(r.normalized_unit_cost, 0.35);  // >= 65% savings
+  EXPECT_LT(r.mean_factor, 1.25);
+}
+
+TEST_F(TraceSimTest, EmrFeeRaisesCostOverPlainSpot) {
+  const StrategyResult plain = Run(SelectionPolicyKind::kSpotFleetCheapest, false);
+  const StrategyResult emr = Run(SelectionPolicyKind::kSpotFleetCheapest, false, 0.25);
+  EXPECT_GT(emr.normalized_unit_cost, plain.normalized_unit_cost + 0.2);
+}
+
+TEST_F(TraceSimTest, InteractiveUsesMultipleMarkets) {
+  const StrategyResult r = Run(SelectionPolicyKind::kFlintInteractive, true);
+  EXPECT_GT(r.mean_markets_used, 1.5);
+  EXPECT_LT(r.normalized_unit_cost, 1.0);
+}
+
+TEST_F(TraceSimTest, CheckpointingBeatsRecomputeOnVolatilePools) {
+  const StrategyResult with = Run(SelectionPolicyKind::kSpotFleetCheapest, true);
+  const StrategyResult without = Run(SelectionPolicyKind::kSpotFleetCheapest, false);
+  EXPECT_LE(with.mean_factor, without.mean_factor + 0.02);
+}
+
+}  // namespace
+}  // namespace flint

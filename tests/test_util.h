@@ -1,0 +1,105 @@
+// Shared helpers for Flint tests: a self-contained engine harness (cluster +
+// DFS + context) with latency modelling off by default so unit tests run
+// fast, plus small factories for crafted traces and markets.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/dfs/dfs.h"
+#include "src/engine/context.h"
+#include "src/engine/typed_rdd.h"
+#include "src/trace/price_trace.h"
+
+namespace flint {
+namespace testing {
+
+struct EngineHarnessOptions {
+  int num_nodes = 4;
+  uint64_t node_memory = 64 * kMiB;
+  int executor_threads = 1;
+  bool model_latency = false;
+  EvictionMode eviction = EvictionMode::kDrop;
+  // Fast time scale so warnings/acquisitions take milliseconds in tests.
+  double seconds_per_model_hour = 0.05;
+};
+
+// Owns a full engine-plane stack. Nodes are added synchronously at
+// construction from pseudo-market 0.
+class EngineHarness {
+ public:
+  explicit EngineHarness(EngineHarnessOptions options = {}) : options_(options) {
+    TimeConfig tc;
+    tc.seconds_per_model_hour = options.seconds_per_model_hour;
+    cluster_ = std::make_unique<ClusterManager>(tc);
+    DfsConfig dfs_config;
+    dfs_ = std::make_unique<Dfs>(dfs_config);
+    dfs_->set_model_latency(options.model_latency);
+    EngineConfig engine;
+    engine.model_latency = options.model_latency;
+    engine.block_defaults.model_latency = options.model_latency;
+    engine.block_defaults.eviction = options.eviction;
+    ctx_ = std::make_unique<FlintContext>(cluster_.get(), dfs_.get(), engine);
+    for (int i = 0; i < options.num_nodes; ++i) {
+      node_ids_.push_back(cluster_->AddNode(0, options.node_memory, options.executor_threads));
+    }
+  }
+
+  FlintContext& ctx() { return *ctx_; }
+  ClusterManager& cluster() { return *cluster_; }
+  Dfs& dfs() { return *dfs_; }
+  const std::vector<NodeId>& node_ids() const { return node_ids_; }
+
+  // Hard-revokes `count` nodes (no warning) and waits for delivery.
+  void RevokeNodes(int count, bool with_warning = false) {
+    std::vector<NodeId> victims;
+    auto live = cluster_->LiveNodes();
+    for (int i = 0; i < count && i < static_cast<int>(live.size()); ++i) {
+      victims.push_back(live[static_cast<size_t>(i)].node_id);
+    }
+    cluster_->Revoke(victims, with_warning);
+    cluster_->DrainEvents();
+  }
+
+  NodeId AddNode() {
+    NodeId id = cluster_->AddNode(0, options_.node_memory, options_.executor_threads);
+    node_ids_.push_back(id);
+    return id;
+  }
+
+ private:
+  EngineHarnessOptions options_;
+  std::unique_ptr<ClusterManager> cluster_;
+  std::unique_ptr<Dfs> dfs_;
+  std::unique_ptr<FlintContext> ctx_;
+  std::vector<NodeId> node_ids_;
+};
+
+// A trace with explicit prices, step = 1 hour by default.
+inline PriceTrace MakeTrace(std::vector<double> prices, SimDuration step = Hours(1)) {
+  return PriceTrace(step, std::move(prices));
+}
+
+// A market whose price is `base` except `spike` during [spike_begin,
+// spike_end) hour indices.
+inline MarketDesc MakeSpikyMarket(const std::string& name, double on_demand, double base,
+                                  double spike, size_t hours, size_t spike_begin,
+                                  size_t spike_end) {
+  std::vector<double> prices(hours, base);
+  for (size_t i = spike_begin; i < spike_end && i < hours; ++i) {
+    prices[i] = spike;
+  }
+  MarketDesc desc;
+  desc.name = name;
+  desc.on_demand_price = on_demand;
+  desc.trace = MakeTrace(std::move(prices));
+  return desc;
+}
+
+}  // namespace testing
+}  // namespace flint
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,147 @@
+// Tests for the extended TPC-H queries (Q10, Q12, Q18) against driver-side
+// references computed directly from the generated rows.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workloads/tpch.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::EngineHarness;
+
+TpchParams SmallDb() {
+  TpchParams p;
+  p.num_customers = 150;
+  p.num_orders = 800;
+  p.max_lines_per_order = 4;
+  p.partitions = 4;
+  return p;
+}
+
+class TpchExtendedTest : public ::testing::Test {
+ protected:
+  TpchExtendedTest() : db_(InvalidArgument("unloaded")) {
+    db_ = TpchDatabase::Load(h_.ctx(), SmallDb());
+  }
+
+  EngineHarness h_;
+  Result<TpchDatabase> db_;
+};
+
+TEST_F(TpchExtendedTest, Q10MatchesReference) {
+  ASSERT_TRUE(db_.ok());
+  const int date_start = kTpchMaxDate / 3;
+  auto q10 = db_->RunQ10(date_start, /*top_n=*/10);
+  ASSERT_TRUE(q10.ok()) << q10.status().ToString();
+
+  auto lines = db_->lineitem().Collect();
+  auto orders = db_->orders().Collect();
+  ASSERT_TRUE(lines.ok());
+  ASSERT_TRUE(orders.ok());
+  std::map<int, int> order_to_cust;
+  for (const auto& o : *orders) {
+    order_to_cust[o.order_key] = o.cust_key;
+  }
+  std::map<int, double> revenue;
+  for (const auto& l : *lines) {
+    if (l.return_flag == 1 && l.ship_date >= date_start && l.ship_date < date_start + 90) {
+      revenue[order_to_cust[l.order_key]] += l.extended_price * (1.0 - l.discount);
+    }
+  }
+  ASSERT_FALSE(q10->empty());
+  // Top row must be the true max-revenue customer.
+  const auto top = std::max_element(revenue.begin(), revenue.end(),
+                                    [](const auto& a, const auto& b) {
+                                      return a.second < b.second;
+                                    });
+  EXPECT_EQ(q10->front().cust_key, top->first);
+  EXPECT_NEAR(q10->front().revenue, top->second, 1e-6);
+  // Rows sorted by revenue descending.
+  for (size_t i = 1; i < q10->size(); ++i) {
+    EXPECT_GE((*q10)[i - 1].revenue, (*q10)[i].revenue);
+  }
+}
+
+TEST_F(TpchExtendedTest, Q12CountsMatchReference) {
+  ASSERT_TRUE(db_.ok());
+  auto q12 = db_->RunQ12(0);
+  ASSERT_TRUE(q12.ok()) << q12.status().ToString();
+
+  auto lines = db_->lineitem().Collect();
+  auto orders = db_->orders().Collect();
+  ASSERT_TRUE(lines.ok());
+  ASSERT_TRUE(orders.ok());
+  std::map<int, int> order_prio;
+  for (const auto& o : *orders) {
+    order_prio[o.order_key] = o.ship_priority;
+  }
+  std::map<int, std::pair<int64_t, int64_t>> expect;  // prio -> (high, low)
+  for (const auto& l : *lines) {
+    if (l.ship_date >= 0 && l.ship_date < 365) {
+      auto& [high, low] = expect[order_prio[l.order_key]];
+      if (l.line_status == 1) {
+        ++high;
+      } else {
+        ++low;
+      }
+    }
+  }
+  ASSERT_EQ(q12->size(), expect.size());
+  for (const auto& row : *q12) {
+    const auto& [high, low] = expect[row.ship_priority];
+    EXPECT_EQ(row.high_line_count, high);
+    EXPECT_EQ(row.low_line_count, low);
+  }
+}
+
+TEST_F(TpchExtendedTest, Q18FindsOnlyLargeOrders) {
+  ASSERT_TRUE(db_.ok());
+  const double threshold = 60.0;
+  auto q18 = db_->RunQ18(threshold, /*top_n=*/50);
+  ASSERT_TRUE(q18.ok()) << q18.status().ToString();
+
+  auto lines = db_->lineitem().Collect();
+  ASSERT_TRUE(lines.ok());
+  std::map<int, double> qty;
+  for (const auto& l : *lines) {
+    qty[l.order_key] += l.quantity;
+  }
+  size_t expect_count = 0;
+  for (const auto& [order, q] : qty) {
+    if (q > threshold) {
+      ++expect_count;
+    }
+  }
+  EXPECT_EQ(q18->size(), std::min<size_t>(expect_count, 50));
+  for (const auto& row : *q18) {
+    EXPECT_GT(row.sum_quantity, threshold);
+    EXPECT_NEAR(row.sum_quantity, qty[row.order_key], 1e-9);
+  }
+  // Sorted by total price descending.
+  for (size_t i = 1; i < q18->size(); ++i) {
+    EXPECT_GE((*q18)[i - 1].total_price, (*q18)[i].total_price);
+  }
+}
+
+TEST_F(TpchExtendedTest, ExtendedQueriesSurviveRevocation) {
+  ASSERT_TRUE(db_.ok());
+  auto before = db_->RunQ12(0);
+  ASSERT_TRUE(before.ok());
+  h_.RevokeNodes(2);
+  h_.AddNode();
+  h_.AddNode();
+  auto after = db_->RunQ12(0);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].high_line_count, (*after)[i].high_line_count);
+    EXPECT_EQ((*before)[i].low_line_count, (*after)[i].low_line_count);
+  }
+}
+
+}  // namespace
+}  // namespace flint

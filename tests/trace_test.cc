@@ -1,0 +1,187 @@
+// Tests for the price-trace substrate: trace arithmetic, bid statistics,
+// the synthetic generator's calibration, catalog presets, and persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/trace/market_catalog.h"
+#include "src/trace/price_trace.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+TEST(PriceTraceTest, PriceAtWrapsAround) {
+  PriceTrace trace = testing::MakeTrace({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(trace.PriceAt(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(trace.PriceAt(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(trace.PriceAt(2.5), 3.0);
+  EXPECT_DOUBLE_EQ(trace.PriceAt(3.5), 1.0);  // wrapped
+  EXPECT_DOUBLE_EQ(trace.PriceAt(7.5), 2.0);
+}
+
+TEST(PriceTraceTest, EmptyTraceIsSafe) {
+  PriceTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.PriceAt(12.0), 0.0);
+  const BidStats stats = ComputeBidStats(trace, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mttf_hours, 0.0);
+}
+
+TEST(BidStatsTest, HandComputedRuns) {
+  // 1h steps: held, held, spike, held, held, held, spike, held.
+  PriceTrace trace = testing::MakeTrace({0.1, 0.1, 5.0, 0.1, 0.1, 0.1, 5.0, 0.1});
+  const BidStats stats = ComputeBidStats(trace, 1.0);
+  ASSERT_EQ(stats.run_lengths_hours.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.run_lengths_hours[0], 2.0);
+  EXPECT_DOUBLE_EQ(stats.run_lengths_hours[1], 3.0);
+  EXPECT_DOUBLE_EQ(stats.run_lengths_hours[2], 1.0);
+  EXPECT_DOUBLE_EQ(stats.mttf_hours, 2.0);
+  EXPECT_DOUBLE_EQ(stats.avg_price, 0.1);
+  EXPECT_DOUBLE_EQ(stats.availability, 6.0 / 8.0);
+}
+
+TEST(BidStatsTest, NeverRevokedIsInfiniteMttf) {
+  PriceTrace trace = testing::MakeTrace(std::vector<double>(100, 0.2));
+  const BidStats stats = ComputeBidStats(trace, 1.0);
+  EXPECT_TRUE(std::isinf(stats.mttf_hours));
+  EXPECT_DOUBLE_EQ(stats.availability, 1.0);
+}
+
+TEST(BidStatsTest, BidBelowFloorNeverRuns) {
+  PriceTrace trace = testing::MakeTrace(std::vector<double>(100, 0.2));
+  const BidStats stats = ComputeBidStats(trace, 0.1);
+  EXPECT_DOUBLE_EQ(stats.availability, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mttf_hours, 0.0);
+}
+
+TEST(BidStatsTest, HigherBidNeverLowersMttf) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 60);
+  params.seed = 5;
+  const PriceTrace trace = GenerateSyntheticTrace(params);
+  double prev_mttf = 0.0;
+  for (double bid_multiple : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const BidStats s = ComputeBidStats(trace, bid_multiple * params.on_demand_price);
+    EXPECT_GE(s.mttf_hours, prev_mttf) << "bid x" << bid_multiple;
+    if (!std::isinf(s.mttf_hours)) {
+      prev_mttf = s.mttf_hours;
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, DeterministicInSeed) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 10);
+  params.seed = 99;
+  const PriceTrace a = GenerateSyntheticTrace(params);
+  const PriceTrace b = GenerateSyntheticTrace(params);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.prices(), b.prices());
+}
+
+TEST(SyntheticTraceTest, SpikesCappedAtTenTimesOnDemand) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 30);
+  params.spikes_per_hour = 0.2;  // lots of spikes
+  params.seed = 3;
+  const PriceTrace trace = GenerateSyntheticTrace(params);
+  for (double p : trace.prices()) {
+    EXPECT_LE(p, 10.0 * params.on_demand_price + 1e-9);
+    EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(SyntheticTraceTest, BasePriceTracksFraction) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 10);
+  params.spikes_per_hour = 0.0;  // no spikes: pure base process
+  params.seed = 8;
+  const PriceTrace trace = GenerateSyntheticTrace(params);
+  const BidStats stats = ComputeBidStats(trace, params.on_demand_price);
+  EXPECT_NEAR(stats.avg_price, params.base_price_fraction * params.on_demand_price,
+              0.05 * params.on_demand_price);
+}
+
+TEST(SyntheticTraceTest, CorrelatedPairsCorrelateMore) {
+  SyntheticTraceParams params;
+  params.duration = Hours(24.0 * 90);
+  params.spikes_per_hour = 1.0 / 30.0;
+  params.seed = 17;
+  auto traces = GenerateMarketTraces(params, 4, {{0, 1}});
+  const double corr_linked = TraceCorrelation(traces[0], traces[1]);
+  const double corr_free = TraceCorrelation(traces[2], traces[3]);
+  EXPECT_GT(corr_linked, 0.3);
+  EXPECT_LT(std::fabs(corr_free), 0.2);
+}
+
+TEST(TraceCsvTest, RoundTrips) {
+  SyntheticTraceParams params;
+  params.duration = Hours(48);
+  params.seed = 4;
+  const PriceTrace trace = GenerateSyntheticTrace(params);
+  const std::string path = ::testing::TempDir() + "/flint_trace_test.csv";
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->step(), trace.step());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(loaded->prices()[i], trace.prices()[i], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvTest, MissingFileIsNotFound) {
+  auto loaded = LoadTraceCsv("/nonexistent/definitely_missing.csv");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MarketCatalogTest, Fig2SpotMttfsSpanThePaperRange) {
+  auto markets = Fig2SpotMarkets(1);
+  ASSERT_EQ(markets.size(), 3u);
+  const double calm = ComputeBidStats(markets[0].trace, markets[0].on_demand_price).mttf_hours;
+  const double mid = ComputeBidStats(markets[1].trace, markets[1].on_demand_price).mttf_hours;
+  const double volatile_mttf =
+      ComputeBidStats(markets[2].trace, markets[2].on_demand_price).mttf_hours;
+  EXPECT_GT(calm, mid);
+  EXPECT_GT(mid, volatile_mttf);
+  EXPECT_GT(calm, 200.0);          // us-west-2c-like
+  EXPECT_LT(volatile_mttf, 40.0);  // sa-east-1a-like
+}
+
+TEST(MarketCatalogTest, GceLifetimesRespectTheCap) {
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    const double ttf = SampleGceLifetime(rng, 21.5);
+    EXPECT_GT(ttf, 0.0);
+    EXPECT_LE(ttf, 24.0);
+    stats.Add(ttf);
+  }
+  EXPECT_NEAR(stats.mean(), 21.5, 1.0);
+}
+
+TEST(MarketCatalogTest, VolatilityLowersBasePrice) {
+  // Volatile pools are cheaper at steady state (that is why Flint's tradeoff
+  // exists at all).
+  const auto calm = ParamsForVolatility(MarketVolatility::kCalm, 0.35, 1);
+  const auto volat = ParamsForVolatility(MarketVolatility::kVolatile, 0.35, 1);
+  EXPECT_LT(volat.base_price_fraction, calm.base_price_fraction);
+  EXPECT_GT(volat.spikes_per_hour, calm.spikes_per_hour);
+}
+
+TEST(MarketCatalogTest, RegionMarketsShareOnDemandPrice) {
+  const auto markets = RegionMarkets(8, 3);
+  ASSERT_EQ(markets.size(), 8u);
+  for (const auto& m : markets) {
+    EXPECT_DOUBLE_EQ(m.on_demand_price, markets[0].on_demand_price);
+    EXPECT_FALSE(m.trace.empty());
+  }
+}
+
+}  // namespace
+}  // namespace flint

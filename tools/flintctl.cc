@@ -1,0 +1,306 @@
+// flintctl: command-line front end for the Flint managed service (the paper:
+// "Users interact with Flint via the command-line to submit, monitor, and
+// interact with their Spark programs"). Subcommands:
+//
+//   flintctl markets   [--count N] [--seed S]          inspect a spot region
+//   flintctl simulate  [--policy P] [--trials N]       trace-driven cost sim
+//   flintctl mc        [--mttf H] [--no-checkpoint]    fixed-MTTF Monte-Carlo
+//   flintctl run       [--workload W] [--policy P] [--failures K]
+//                                                      engine-plane run with
+//                                                      optional fault injection
+//   flintctl trace     [--out FILE] [--volatility V]   export a price trace
+//
+// Policies P: batch | interactive | cheapest | stable | ondemand.
+// Workloads W: pagerank | kmeans | als | tpch.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/core/flint_cluster.h"
+#include "src/select/selection.h"
+#include "src/sim/monte_carlo.h"
+#include "src/sim/trace_sim.h"
+#include "src/trace/market_catalog.h"
+#include "src/workloads/als.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/pagerank.h"
+#include "src/workloads/tpch.h"
+
+namespace flint {
+namespace {
+
+// Minimal flag parser: --key value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 &&
+          (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+        flags_.insert(argv[i] + 2);
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+};
+
+SelectionPolicyKind ParsePolicy(const std::string& s) {
+  if (s == "interactive") {
+    return SelectionPolicyKind::kFlintInteractive;
+  }
+  if (s == "cheapest") {
+    return SelectionPolicyKind::kSpotFleetCheapest;
+  }
+  if (s == "stable") {
+    return SelectionPolicyKind::kSpotFleetLeastVolatile;
+  }
+  if (s == "ondemand") {
+    return SelectionPolicyKind::kOnDemand;
+  }
+  return SelectionPolicyKind::kFlintBatch;
+}
+
+int CmdMarkets(const Args& args) {
+  const auto count = static_cast<size_t>(args.GetInt("count", 16));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  Marketplace mp(RegionMarkets(count, seed), 0.35, seed);
+  ServerSelector selector(&mp, SelectionConfig{});
+  JobProfile job;
+  std::printf("%-12s %10s %10s %10s %12s\n", "market", "avg $/h", "MTTF(h)", "E[T]/T",
+              "E[cost]/h");
+  for (const auto& ev : selector.EvaluateMarkets(Hours(24.0 * 30), job)) {
+    std::printf("%-12s %10.4f %10.1f %10.4f %12.4f\n",
+                ev.id == kOnDemandMarket ? "on-demand" : mp.market(ev.id).name().c_str(),
+                ev.avg_price, ev.mttf_hours, ev.expected_factor, ev.expected_unit_cost);
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+  Marketplace mp(RegionMarkets(16, seed), 0.35, seed);
+  TraceSimulator sim(&mp);
+  StrategyConfig cfg;
+  cfg.policy = ParsePolicy(args.Get("policy", "batch"));
+  cfg.checkpointing = !args.Has("no-checkpoint");
+  cfg.fee_fraction_of_on_demand = args.GetDouble("fee", 0.0);
+  cfg.trials = static_cast<int>(args.GetInt("trials", 200));
+  cfg.seed = seed;
+  CanonicalJob job;
+  job.base_hours = args.GetDouble("hours", job.base_hours);
+  const StrategyResult r = sim.Run(job, cfg);
+  std::printf("policy=%s checkpointing=%s trials=%d\n", args.Get("policy", "batch").c_str(),
+              cfg.checkpointing ? "on" : "off", cfg.trials);
+  std::printf("  normalized unit cost : %.3f (on-demand = 1.0)\n", r.normalized_unit_cost);
+  std::printf("  runtime factor       : %.3f +- %.3f\n", r.mean_factor, r.factor_stddev);
+  std::printf("  revocations per job  : %.2f across %.1f markets\n", r.mean_revocation_events,
+              r.mean_markets_used);
+  return 0;
+}
+
+int CmdMc(const Args& args) {
+  CanonicalJob job;
+  job.base_hours = args.GetDouble("hours", job.base_hours);
+  McConfig cfg;
+  cfg.mttf_hours = args.GetDouble("mttf", 20.0);
+  cfg.checkpointing = !args.Has("no-checkpoint");
+  cfg.num_markets = static_cast<int>(args.GetInt("markets", 1));
+  cfg.trials = static_cast<int>(args.GetInt("trials", 4000));
+  const McResult r = SimulateCanonicalJob(job, cfg);
+  std::printf("MTTF %.1fh, m=%d, checkpointing %s:\n", cfg.mttf_hours, cfg.num_markets,
+              cfg.checkpointing ? "on" : "off");
+  std::printf("  mean runtime factor : %.4f (p95 %.4f)\n", r.mean_factor, r.p95_factor);
+  std::printf("  mean revocations    : %.2f\n", r.mean_revocations);
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  FlintOptions options;
+  options.nodes.cluster_size = static_cast<int>(args.GetInt("nodes", 10));
+  options.nodes.policy = ParsePolicy(args.Get("policy", "batch"));
+  options.checkpoint.policy =
+      args.Has("no-checkpoint") ? CheckpointPolicyKind::kNone : CheckpointPolicyKind::kFlint;
+  options.checkpoint.mttf_hours = args.GetDouble("mttf", 20.0);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  FlintCluster cluster(options);
+  if (Status st = cluster.Start(); !st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string workload = args.Get("workload", "pagerank");
+  const int failures = static_cast<int>(args.GetInt("failures", 0));
+  std::thread chaos;
+  if (failures > 0) {
+    chaos = std::thread([&cluster, failures] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      std::vector<NodeId> victims;
+      for (const auto& node : cluster.cluster().LiveNodes()) {
+        if (static_cast<int>(victims.size()) < failures) {
+          victims.push_back(node.node_id);
+        }
+      }
+      cluster.cluster().Revoke(victims, /*with_warning=*/true);
+    });
+  }
+  JobReport report = cluster.RunMeasured([&workload](FlintContext& ctx) -> Status {
+    if (workload == "kmeans") {
+      KMeansParams p;
+      p.num_points = 400000;
+      p.partitions = 20;
+      auto r = RunKMeans(ctx, p);
+      if (r.ok()) {
+        std::printf("kmeans inertia: %.3f\n", r->inertia);
+      }
+      return r.status();
+    }
+    if (workload == "als") {
+      AlsParams p;
+      p.num_users = 10000;
+      p.num_items = 2000;
+      p.partitions = 20;
+      auto r = RunAls(ctx, p);
+      if (r.ok()) {
+        std::printf("als rmse: %.4f\n", r->rmse);
+      }
+      return r.status();
+    }
+    if (workload == "tpch") {
+      TpchParams p;
+      p.num_orders = 50000;
+      p.num_customers = 2000;
+      p.partitions = 20;
+      auto db = TpchDatabase::Load(ctx, p);
+      if (!db.ok()) {
+        return db.status();
+      }
+      auto q1 = db->RunQ1();
+      auto q3 = db->RunQ3();
+      auto q10 = db->RunQ10();
+      std::printf("tpch: q1 groups=%zu q3 rows=%zu q10 rows=%zu\n",
+                  q1.ok() ? q1->size() : 0, q3.ok() ? q3->size() : 0,
+                  q10.ok() ? q10->size() : 0);
+      FLINT_RETURN_IF_ERROR(q1.status());
+      FLINT_RETURN_IF_ERROR(q3.status());
+      return q10.status();
+    }
+    PageRankParams p;
+    p.num_vertices = 40000;
+    p.edges_per_vertex = 15;
+    p.partitions = 20;
+    auto r = RunPageRank(ctx, p, 5);
+    if (r.ok() && !r->top.empty()) {
+      std::printf("pagerank top vertex: v%d (%.3f)\n", r->top[0].first, r->top[0].second);
+    }
+    return r.status();
+  });
+  if (chaos.joinable()) {
+    chaos.join();
+  }
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", report.status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wall %.2fs | tasks %llu (%llu failed) | recomputed %llu | checkpoints %llu (%.1f MiB)\n",
+      report.wall_seconds, static_cast<unsigned long long>(report.tasks_run),
+      static_cast<unsigned long long>(report.task_failures),
+      static_cast<unsigned long long>(report.partitions_recomputed),
+      static_cast<unsigned long long>(report.checkpoint_writes),
+      static_cast<double>(report.checkpoint_bytes) / (1024.0 * 1024.0));
+  std::printf("cluster bill: $%.4f spot vs $%.4f on-demand\n", cluster.nodes().TotalCost(),
+              cluster.nodes().OnDemandEquivalentCost());
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  MarketVolatility volatility = MarketVolatility::kModerate;
+  const std::string v = args.Get("volatility", "moderate");
+  if (v == "calm") {
+    volatility = MarketVolatility::kCalm;
+  } else if (v == "volatile") {
+    volatility = MarketVolatility::kVolatile;
+  } else if (v == "extreme") {
+    volatility = MarketVolatility::kExtreme;
+  }
+  SyntheticTraceParams params =
+      ParamsForVolatility(volatility, args.GetDouble("od", 0.35),
+                          static_cast<uint64_t>(args.GetInt("seed", 1)));
+  params.duration = Hours(24.0 * args.GetDouble("days", 30.0));
+  const PriceTrace trace = GenerateSyntheticTrace(params);
+  const std::string out = args.Get("out", "trace.csv");
+  if (Status st = SaveTraceCsv(trace, out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const BidStats stats = ComputeBidStats(trace, params.on_demand_price);
+  std::printf("wrote %zu samples to %s (avg $%.4f/h, MTTF %.1fh at on-demand bid)\n",
+              trace.size(), out.c_str(), stats.avg_price, stats.mttf_hours);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flintctl <markets|simulate|mc|run|trace> [--flags]\n"
+               "  markets  --count N --seed S\n"
+               "  simulate --policy batch|interactive|cheapest|stable|ondemand\n"
+               "           --trials N --fee F [--no-checkpoint]\n"
+               "  mc       --mttf H --markets M --trials N [--no-checkpoint]\n"
+               "  run      --workload pagerank|kmeans|als|tpch --policy P\n"
+               "           --nodes N --failures K --mttf H [--no-checkpoint]\n"
+               "  trace    --out FILE --volatility calm|moderate|volatile|extreme\n"
+               "           --days D --od PRICE --seed S\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "markets") {
+    return CmdMarkets(args);
+  }
+  if (cmd == "simulate") {
+    return CmdSimulate(args);
+  }
+  if (cmd == "mc") {
+    return CmdMc(args);
+  }
+  if (cmd == "run") {
+    return CmdRun(args);
+  }
+  if (cmd == "trace") {
+    return CmdTrace(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace flint
+
+int main(int argc, char** argv) { return flint::Main(argc, argv); }
