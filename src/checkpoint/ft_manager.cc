@@ -131,7 +131,18 @@ void FaultToleranceManager::FireCheckpointRound() {
   std::vector<RddPtr> to_checkpoint;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (signal_pending_) {
+      // The previous round's signal was never consumed (no RDD was generated
+      // all interval). Count it as expired instead of letting it silently
+      // carry over — the re-arm below refreshes the expiry window.
+      ++stats_.signals_expired;
+    }
     signal_pending_ = true;
+    signal_fired_at_ = WallClock::now();
+    const double tau = TauSecondsLocked();
+    signal_expiry_seconds_ = std::isfinite(tau)
+                                 ? config_.signal_expiry_factor * tau
+                                 : std::numeric_limits<double>::infinity();
     for (const auto& [id, rdd] : frontier_) {
       if (rdd->checkpoint_state() == CheckpointState::kNone && rdd->should_cache()) {
         to_checkpoint.push_back(rdd);
@@ -256,12 +267,22 @@ void FaultToleranceManager::OnRddCreated(const RddPtr& rdd) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (signal_pending_) {
-      // "After signaling, each new RDD generated at the frontier of its
-      // lineage graph is marked for checkpointing."
       signal_pending_ = false;
-      mark = true;
-    } else if (config_.policy == CheckpointPolicyKind::kFlint && config_.shuffle_boost &&
-               rdd->is_shuffle_output()) {
+      const double age = WallDuration(WallClock::now() - signal_fired_at_).count();
+      if (age <= signal_expiry_seconds_) {
+        // "After signaling, each new RDD generated at the frontier of its
+        // lineage graph is marked for checkpointing."
+        mark = true;
+      } else {
+        // Stale: the signal outlived the interval it was fired for (idle
+        // lull, long revocation stall). Marking this unrelated RDD now would
+        // double-checkpoint the next interval; drop it and fall through to
+        // the regular shuffle-boost policy.
+        ++stats_.signals_expired;
+      }
+    }
+    if (!mark && config_.policy == CheckpointPolicyKind::kFlint && config_.shuffle_boost &&
+        rdd->is_shuffle_output()) {
       // Shuffle RDDs checkpoint at tau / #map-partitions (Sec 3.1.1): wide
       // dependencies make their recomputation disproportionately expensive.
       int num_maps = 1;

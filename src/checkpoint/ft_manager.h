@@ -43,6 +43,10 @@ struct CheckpointConfig {
   double fixed_interval_seconds = 2.0;
   bool shuffle_boost = true;
   bool gc_enabled = true;
+  // A fired checkpoint signal is only valid for this fraction of the tau in
+  // effect when it fired: if no RDD is generated within that window the
+  // signal expires instead of marking some much-later, unrelated RDD.
+  double signal_expiry_factor = 1.0;
   // kSystemsLevel snapshots at tau / this divisor, matching the effective
   // frequency of Flint's shuffle-boosted checkpoints (the paper compares the
   // two approaches "using the same checkpointing frequency").
@@ -74,12 +78,20 @@ class FaultToleranceManager : public EngineObserver {
   // Also used by tests and by the interactive layer for eager persistence.
   void CheckpointRddNow(const RddPtr& rdd);
 
+  // Fires one checkpoint round: marks current frontier RDDs (Flint/fixed) or
+  // snapshots the whole cache (systems-level). The signal thread calls this
+  // every tau; public so tests can drive rounds deterministically.
+  void FireCheckpointRound();
+
   struct Stats {
     uint64_t rdds_checkpointed = 0;
     uint64_t partitions_written = 0;
     uint64_t bytes_written = 0;
     uint64_t gc_deleted_rdds = 0;
     uint64_t signals_fired = 0;
+    // Signals that aged out before any RDD consumed them (see
+    // CheckpointConfig::signal_expiry_factor).
+    uint64_t signals_expired = 0;
   };
   Stats GetStats() const;
 
@@ -102,9 +114,6 @@ class FaultToleranceManager : public EngineObserver {
   // writes are scheduled immediately (from cache or by recomputation);
   // otherwise partitions are written as tasks finish computing them.
   void MarkRdd(const RddPtr& rdd, bool enqueue_writes);
-  // Fires one checkpoint round: marks current frontier RDDs (Flint/fixed) or
-  // snapshots the whole cache (systems-level).
-  void FireCheckpointRound();
   void SystemsLevelSnapshot();
   // Removes ancestors of `rdd` from the frontier set. Caller holds mutex_.
   void PruneAncestorsLocked(const RddPtr& rdd);
@@ -125,8 +134,12 @@ class FaultToleranceManager : public EngineObserver {
   std::unordered_map<int, RddPtr> cached_sources_;
   std::unordered_map<int, PendingCheckpoint> pending_;  // keyed by rdd id
   // Set by the periodic signal; the next RDD generated at the frontier of
-  // its lineage graph is marked for checkpointing (paper Sec 3.1.1).
+  // its lineage graph is marked for checkpointing (paper Sec 3.1.1). The
+  // signal expires signal_expiry_seconds_ after signal_fired_at_ so a quiet
+  // interval cannot bank a stale mark for a far-future RDD.
   bool signal_pending_ = false;
+  WallTime signal_fired_at_{};
+  double signal_expiry_seconds_ = 0.0;
   WallTime last_shuffle_checkpoint_;
   uint64_t sys_epoch_ = 0;
   Stats stats_;

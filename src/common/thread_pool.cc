@@ -26,6 +26,16 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  // Workers drain the remaining queue before exiting, so every task accepted
+  // before Close still runs (and pushes its outcome) exactly once.
+  work_available_.notify_all();
+}
+
 bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -23,8 +23,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Never blocks. Returns false if the pool is shutting down.
+  // Enqueues a task. Never blocks. Returns false if the pool is closed or
+  // shutting down.
   bool Submit(std::function<void()> task);
+
+  // Stops accepting new tasks. Tasks already queued or running still finish;
+  // Wait() and the destructor behave as before. Used when a node receives a
+  // revocation warning: it keeps executing but must not take new work.
+  void Close();
 
   // Blocks until every submitted task has finished executing.
   void Wait();

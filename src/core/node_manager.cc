@@ -137,22 +137,35 @@ void NodeManager::OnNodeWarning(const NodeInfo& node) {
       revoked_market = it->second.lease.market;
     }
     if (revoked_market != kOnDemandMarket) {
-      recently_revoked_.insert(revoked_market);
+      recently_revoked_[revoked_market] = Now();
     }
   }
   ProvisionReplacement(revoked_market);
 }
 
+void NodeManager::PruneRevokedLocked(SimTime now) {
+  for (auto it = recently_revoked_.begin(); it != recently_revoked_.end();) {
+    if (now - it->second > config_.revocation_exclusion_cooldown) {
+      it = recently_revoked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void NodeManager::ProvisionReplacement(MarketId revoked_market) {
+  const SimTime now = Now();
   std::unordered_set<MarketId> exclude;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    exclude = recently_revoked_;
+    PruneRevokedLocked(now);
+    for (const auto& [market, since] : recently_revoked_) {
+      exclude.insert(market);
+    }
   }
   if (revoked_market != kOnDemandMarket) {
     exclude.insert(revoked_market);
   }
-  const SimTime now = Now();
   Result<MarketEvaluation> choice =
       selector_.SelectReplacement(config_.policy, now, config_.job, exclude);
   MarketId market = choice.ok() ? choice->id : kOnDemandMarket;
@@ -165,6 +178,10 @@ void NodeManager::ProvisionReplacement(MarketId revoked_market) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     leases_[id] = LeaseRecord{*lease, true, 0.0};
+    if (revoked_market != kOnDemandMarket) {
+      // When this node joins, only the market it restores is re-admitted.
+      replacement_for_[id] = revoked_market;
+    }
   }
   if (config_.market_driven_revocations && std::isfinite(lease->revocation)) {
     ScheduleMarketRevocation(id, lease->revocation);
@@ -196,10 +213,15 @@ void NodeManager::OnNodeRevoked(const NodeInfo& node) {
 }
 
 void NodeManager::OnNodeAdded(const NodeInfo& node) {
-  (void)node;
-  // Replacement joined: its market is live again for future restoration.
+  // A replacement joining restores exactly the market it was provisioned
+  // for — a storm elsewhere must not re-admit every excluded market at once.
   std::lock_guard<std::mutex> lock(mutex_);
-  recently_revoked_.clear();
+  auto it = replacement_for_.find(node.node_id);
+  if (it != replacement_for_.end()) {
+    recently_revoked_.erase(it->second);
+    replacement_for_.erase(it);
+  }
+  PruneRevokedLocked(Now());
 }
 
 double NodeManager::TotalCost() const {
@@ -225,6 +247,17 @@ double NodeManager::OnDemandEquivalentCost() const {
     cost += std::ceil(hours - 1e-9) * marketplace_->on_demand_price();
   }
   return cost;
+}
+
+std::vector<MarketId> NodeManager::ExcludedMarkets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MarketId> out;
+  out.reserve(recently_revoked_.size());
+  for (const auto& [market, since] : recently_revoked_) {
+    out.push_back(market);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<MarketId> NodeManager::ActiveMarkets() const {

@@ -40,6 +40,10 @@ struct NodeManagerConfig {
   // Simulated epoch at which the cluster starts; defaults to one window in so
   // "recent history" exists.
   SimTime sim_start = Hours(24.0 * 7);
+  // A market revoked recently is excluded from restoration until its own
+  // replacement joins, or this much simulated time passes, whichever comes
+  // first (a storm elsewhere must not re-admit a market still in turmoil).
+  SimDuration revocation_exclusion_cooldown = Hours(1.0);
 };
 
 class NodeManager : public EngineObserver {
@@ -64,6 +68,9 @@ class NodeManager : public EngineObserver {
 
   // Markets currently in use (distinct, live nodes).
   std::vector<MarketId> ActiveMarkets() const;
+  // Markets currently excluded from restoration (sorted); observability for
+  // dashboards and tests.
+  std::vector<MarketId> ExcludedMarkets() const;
   const ServerSelector& selector() const { return selector_; }
 
   // EngineObserver:
@@ -85,6 +92,8 @@ class NodeManager : public EngineObserver {
   // delay. Falls back to on-demand if the market refuses.
   void ProvisionReplacement(MarketId preferred);
   void UpdateFtMttf();
+  // Drops exclusion entries older than the cooldown. Caller holds mutex_.
+  void PruneRevokedLocked(SimTime now);
   void ScheduleMarketRevocation(NodeId node, SimTime revocation_time);
   double CloseLeaseCost(LeaseRecord& rec, SimTime end);
 
@@ -98,8 +107,13 @@ class NodeManager : public EngineObserver {
   WallTime engine_start_;
   bool started_ = false;
   std::unordered_map<NodeId, LeaseRecord> leases_;
-  std::unordered_set<NodeId> warned_;              // replacement already requested
-  std::unordered_set<MarketId> recently_revoked_;  // excluded from restoration
+  std::unordered_set<NodeId> warned_;  // replacement already requested
+  // Markets excluded from restoration, keyed by when the exclusion started.
+  // An entry clears when that market's replacement lands (replacement_for_)
+  // or lazily once the configured cooldown elapses.
+  std::unordered_map<MarketId, SimTime> recently_revoked_;
+  // Pending replacement node -> the market whose revocation it restores.
+  std::unordered_map<NodeId, MarketId> replacement_for_;
   double closed_cost_ = 0.0;
 
   TimerQueue timers_;

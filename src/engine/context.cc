@@ -234,6 +234,19 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::LiveNodeStates() const {
   return out;
 }
 
+std::vector<std::shared_ptr<NodeState>> FlintContext::SchedulableNodeStates() const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  std::vector<std::shared_ptr<NodeState>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    if (!node->revoked.load(std::memory_order_acquire) &&
+        !node->draining.load(std::memory_order_acquire)) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
 std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
   std::lock_guard<std::mutex> lock(nodes_mutex_);
   auto it = nodes_.find(id);
@@ -267,9 +280,12 @@ void FlintContext::DrainExecutors() {
 void FlintContext::WaitForLiveNode() {
   const auto t0 = WallClock::now();
   std::unique_lock<std::mutex> lock(nodes_mutex_);
+  // A node that is merely draining (revocation warning) cannot take new
+  // tasks, so waiting on it would spin; require a schedulable node.
   node_added_cv_.wait(lock, [this] {
     for (const auto& [id, node] : nodes_) {
-      if (!node->revoked.load(std::memory_order_acquire)) {
+      if (!node->revoked.load(std::memory_order_acquire) &&
+          !node->draining.load(std::memory_order_acquire)) {
         return true;
       }
     }
@@ -283,6 +299,7 @@ void FlintContext::WaitForLiveNode() {
 // --- checkpoint plumbing ---
 
 Status FlintContext::WriteCheckpointData(const RddPtr& rdd, int partition, PartitionPtr data) {
+  FireProbe(EnginePoint::kCheckpointWrite);
   const std::string path = rdd->CheckpointPath(partition);
   const auto t0 = WallClock::now();
   DfsObject obj;
@@ -312,7 +329,7 @@ Status FlintContext::WriteCheckpointNow(const RddPtr& rdd, int partition, TaskCo
 
 Status FlintContext::EnqueueCheckpointWriteWithData(const RddPtr& rdd, int partition,
                                                     PartitionPtr data) {
-  auto live = LiveNodeStates();
+  auto live = SchedulableNodeStates();
   if (live.empty()) {
     return Unavailable("no live node for checkpoint write");
   }
@@ -335,9 +352,9 @@ Status FlintContext::EnqueueCheckpointWriteWithData(const RddPtr& rdd, int parti
 }
 
 Status FlintContext::EnqueueCheckpointWrite(const RddPtr& rdd, int partition) {
-  // Pick any live node's executor; checkpoint tasks consume the same CPU/IO
-  // the paper's checkpointing tasks do.
-  auto live = LiveNodeStates();
+  // Pick any schedulable node's executor; checkpoint tasks consume the same
+  // CPU/IO the paper's checkpointing tasks do.
+  auto live = SchedulableNodeStates();
   if (live.empty()) {
     return Unavailable("no live node for checkpoint write");
   }
@@ -411,6 +428,21 @@ void FlintContext::OnNodeAdded(const NodeInfo& info) {
 }
 
 void FlintContext::OnNodeWarning(const NodeInfo& info) {
+  // The warned node keeps executing its queued tasks (and serving its cache)
+  // until the revocation lands, but must not take new work — the scheduler
+  // would otherwise keep dispatching to a server that is about to vanish.
+  std::shared_ptr<NodeState> node;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    auto it = nodes_.find(info.node_id);
+    if (it != nodes_.end()) {
+      node = it->second;
+    }
+  }
+  if (node != nullptr) {
+    node->draining.store(true, std::memory_order_release);
+    node->pool->Close();
+  }
   for (EngineObserver* obs : ObserversSnapshot()) {
     obs->OnNodeWarning(info);
   }
@@ -429,6 +461,8 @@ void FlintContext::OnNodeRevoked(const NodeInfo& info) {
   }
   if (node != nullptr) {
     node->revoked.store(true, std::memory_order_release);
+    node->draining.store(true, std::memory_order_release);
+    node->pool->Close();  // a no-warning revocation never passed through drain
     node->blocks->Clear();
   }
   // Remove the node from the block registry and shuffle outputs: its memory

@@ -56,6 +56,8 @@ struct EngineCounters {
   std::atomic<uint64_t> checkpoint_reads{0};
   std::atomic<int64_t> compute_nanos{0};
   std::atomic<int64_t> acquisition_wait_nanos{0};  // scheduler stalls with zero live nodes
+  std::atomic<uint64_t> stage_rounds{0};  // dispatch rounds across all stage loops
+  std::atomic<uint64_t> stage_parks{0};   // rounds where every submission was rejected
 };
 
 // Engine-side state of one node. Retired (revoked) nodes are kept until
@@ -65,6 +67,9 @@ struct NodeState {
   std::unique_ptr<BlockManager> blocks;
   std::unique_ptr<ThreadPool> pool;
   std::atomic<bool> revoked{false};
+  // Set on the revocation warning: the node keeps executing (and serving its
+  // cache) until revocation, but its pool stops accepting new tasks.
+  std::atomic<bool> draining{false};
 };
 
 class FlintContext : public ClusterListener {
@@ -117,8 +122,12 @@ class FlintContext : public ClusterListener {
 
   // --- node access for the scheduler / checkpointing ---
   std::vector<std::shared_ptr<NodeState>> LiveNodeStates() const;
+  // Live nodes that also accept new tasks (not draining under a revocation
+  // warning). The scheduler dispatches only to these.
+  std::vector<std::shared_ptr<NodeState>> SchedulableNodeStates() const;
   std::shared_ptr<NodeState> GetNodeState(NodeId id) const;
-  // Blocks until at least one live node exists; accumulates acquisition wait.
+  // Blocks until at least one live node accepts new tasks; accumulates
+  // acquisition wait.
   void WaitForLiveNode();
   // Blocks until every executor pool (live and retired) is idle. Observers
   // must call this before unregistering so no in-flight task can reach them.
@@ -142,6 +151,16 @@ class FlintContext : public ClusterListener {
   // --- event plumbing (called from TaskContext / scheduler) ---
   void NotifyPartitionComputed(const RddPtr& rdd, int partition, double seconds);
   void ChargeOriginRead(uint64_t bytes) const;
+
+  // --- fault-injection probe (src/inject/) ---
+  // At most one probe; set before running jobs, clear with nullptr. The
+  // probe must outlive every job it observes.
+  void SetProbe(EngineProbe* probe) { probe_.store(probe, std::memory_order_release); }
+  void FireProbe(EnginePoint point) {
+    if (EngineProbe* probe = probe_.load(std::memory_order_acquire)) {
+      probe->AtPoint(point);
+    }
+  }
 
   // ClusterListener:
   void OnNodeAdded(const NodeInfo& node) override;
@@ -183,6 +202,7 @@ class FlintContext : public ClusterListener {
   std::mutex job_mutex_;  // one job at a time
   std::unique_ptr<DagScheduler> scheduler_;
   std::atomic<int> round_robin_{0};
+  std::atomic<EngineProbe*> probe_{nullptr};
 };
 
 }  // namespace flint

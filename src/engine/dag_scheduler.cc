@@ -1,8 +1,11 @@
 #include "src/engine/dag_scheduler.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "src/common/log.h"
@@ -11,13 +14,27 @@
 
 namespace flint {
 
-namespace {
-
 // Collects task outcomes from executor threads back to the scheduler.
+// Defined at namespace scope (not anonymous) so StageLoopSpec callbacks in
+// the header can name it by forward declaration.
 class OutcomeQueue {
  public:
-  void Push(DagScheduler::TaskOutcome outcome);
-  DagScheduler::TaskOutcome Pop();
+  void Push(DagScheduler::TaskOutcome outcome) {
+    // Notify while holding the lock: the scheduler destroys this queue as
+    // soon as it has popped the final outcome, so the notify must complete
+    // before the popper can observe the push.
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(outcome));
+    cv_.notify_one();
+  }
+
+  DagScheduler::TaskOutcome Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    DagScheduler::TaskOutcome outcome = std::move(queue_.front());
+    queue_.pop_front();
+    return outcome;
+  }
 
  private:
   std::mutex mutex_;
@@ -25,47 +42,36 @@ class OutcomeQueue {
   std::deque<DagScheduler::TaskOutcome> queue_;
 };
 
+namespace {
+
+// Backoff for progress-free rounds (tasks racing a revocation wave): keeps
+// the stage loop off the CPU without adding meaningful latency to the first
+// few retries.
+WallDuration StallBackoff(int stalled_rounds) {
+  const int exponent = std::min(stalled_rounds, 8);  // caps at ~12.8 ms
+  return WallDuration(50e-6 * static_cast<double>(1 << exponent));
+}
+
 }  // namespace
 
-// OutcomeQueue is declared in an anonymous namespace but needs TaskOutcome
-// public; give the scheduler a friend-free path by defining methods here.
-void OutcomeQueue::Push(DagScheduler::TaskOutcome outcome) {
-  // Notify while holding the lock: the scheduler destroys this queue as soon
-  // as it has popped the final outcome, so the notify must complete before
-  // the popper can observe the push.
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_.push_back(std::move(outcome));
-  cv_.notify_one();
-}
-
-DagScheduler::TaskOutcome OutcomeQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return !queue_.empty(); });
-  DagScheduler::TaskOutcome outcome = std::move(queue_.front());
-  queue_.pop_front();
-  return outcome;
-}
-
 std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partition) {
-  for (;;) {
-    auto live = ctx_->LiveNodeStates();
-    if (live.empty()) {
-      // Whole cluster revoked: park until the node manager replaces servers.
-      ctx_->WaitForLiveNode();
-      continue;
-    }
-    // Locality: prefer a node already caching this partition.
-    const BlockKey key{rdd->id(), partition};
-    for (const auto& node : live) {
-      if (node->blocks->Contains(key)) {
-        return node;
-      }
-    }
-    const size_t pick =
-        static_cast<size_t>(ctx_->round_robin_.fetch_add(1, std::memory_order_relaxed)) %
-        live.size();
-    return live[pick];
+  auto live = ctx_->SchedulableNodeStates();
+  if (live.empty()) {
+    // Whole cluster revoked or draining. Parking belongs to the stage loop
+    // (which counts it separately from convergence attempts), not here.
+    return nullptr;
   }
+  // Locality: prefer a node already caching this partition.
+  const BlockKey key{rdd->id(), partition};
+  for (const auto& node : live) {
+    if (node->blocks->Contains(key)) {
+      return node;
+    }
+  }
+  const size_t pick =
+      static_cast<size_t>(ctx_->round_robin_.fetch_add(1, std::memory_order_relaxed)) %
+      live.size();
+  return live[pick];
 }
 
 Status DagScheduler::EnsureShuffleDeps(const RddPtr& rdd, int depth) {
@@ -86,6 +92,72 @@ Status DagScheduler::RecoverShuffle(int shuffle_id, int depth) {
   return RunShuffleStage(shuffle, depth);
 }
 
+Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
+  int stalled_rounds = 0;
+  for (;;) {
+    if (spec.complete()) {
+      return Status::Ok();
+    }
+    if (stalled_rounds > spec.max_stalled_rounds) {
+      return Internal(std::string(spec.what) + " failed to converge");
+    }
+    ctx_->FireProbe(EnginePoint::kSchedulerRound);
+    FLINT_RETURN_IF_ERROR(spec.prepare());
+
+    OutcomeQueue outcomes;
+    const size_t in_flight = spec.dispatch(outcomes);
+    ctx_->counters().stage_rounds.fetch_add(1, std::memory_order_relaxed);
+    if (in_flight == 0) {
+      // Every executor pool rejected the round's submissions: the whole
+      // cluster was revoked (or started draining) between PickNode and
+      // Submit. Park until the node manager supplies a replacement — this is
+      // an acquisition wait, not a convergence attempt.
+      ctx_->counters().stage_parks.fetch_add(1, std::memory_order_relaxed);
+      ctx_->WaitForLiveNode();
+      continue;
+    }
+
+    bool progress = false;
+    bool need_recovery = false;
+    int recovery_shuffle = -1;
+    Status fatal;
+    for (size_t i = 0; i < in_flight; ++i) {
+      TaskOutcome outcome = outcomes.Pop();
+      if (outcome.status.ok()) {
+        progress = spec.on_success(std::move(outcome)) || progress;
+        continue;
+      }
+      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
+      switch (outcome.status.code()) {
+        case StatusCode::kUnavailable:
+          break;  // next round re-dispatches
+        case StatusCode::kDataLoss:
+          need_recovery = true;
+          recovery_shuffle = outcome.failed_shuffle;
+          break;
+        default:
+          if (fatal.ok()) {
+            fatal = outcome.status;
+          }
+          break;
+      }
+    }
+    if (!fatal.ok()) {
+      return fatal;
+    }
+    if (need_recovery && recovery_shuffle >= 0) {
+      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, spec.recovery_depth));
+      progress = true;  // the producing stage was re-run; not a stall
+    }
+    if (progress) {
+      stalled_rounds = 0;
+    } else {
+      ++stalled_rounds;
+      std::this_thread::sleep_for(StallBackoff(stalled_rounds));
+    }
+  }
+}
+
 Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle, int depth) {
   if (depth > kMaxRecoveryDepth) {
     return Internal("stage recursion too deep");
@@ -97,28 +169,31 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
   }
   ShuffleManager& shuffles = ctx_->shuffles();
 
-  for (int attempt = 0;; ++attempt) {
-    std::vector<int> missing = shuffles.MissingMaps(shuffle->shuffle_id);
-    if (missing.empty()) {
-      return Status::Ok();
-    }
-    if (attempt > 4 * kMaxRecoveryDepth) {
-      return Internal("shuffle stage failed to converge");
-    }
-    // The map tasks themselves read lineage below; make sure *their* shuffle
-    // inputs exist before dispatching.
-    FLINT_RETURN_IF_ERROR(EnsureShuffleDeps(map_rdd, depth + 1));
-
-    OutcomeQueue outcomes;
+  StageLoopSpec spec;
+  spec.what = "shuffle stage";
+  spec.max_stalled_rounds = 4 * kMaxRecoveryDepth;
+  spec.recovery_depth = depth + 1;
+  spec.complete = [&shuffles, &shuffle] {
+    return shuffles.MissingMaps(shuffle->shuffle_id).empty();
+  };
+  // The map tasks themselves read lineage; make sure *their* shuffle inputs
+  // exist before every dispatch round.
+  spec.prepare = [this, &map_rdd, depth] { return EnsureShuffleDeps(map_rdd, depth + 1); };
+  spec.dispatch = [this, &shuffles, &shuffle, &map_rdd](OutcomeQueue& outcomes) {
+    ctx_->FireProbe(EnginePoint::kBeforeShuffleMapDispatch);
     size_t in_flight = 0;
-    for (int m : missing) {
+    for (int m : shuffles.MissingMaps(shuffle->shuffle_id)) {
       std::shared_ptr<NodeState> node = PickNode(map_rdd, m);
+      if (node == nullptr) {
+        break;  // nothing schedulable; the stage loop parks on WaitForLiveNode
+      }
       const int shuffle_id = shuffle->shuffle_id;
       const int num_buckets = shuffle->num_reduce_partitions;
       ShuffleBucketer bucketer = shuffle->bucketer;
       ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
       const bool queued = node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets,
                                               bucketer, &outcomes] {
+        ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
         TaskContext tc(ctx_, node);
         TaskOutcome outcome;
         outcome.index = m;
@@ -136,6 +211,7 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
           return;
         }
         ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets));
+        ctx_->FireProbe(EnginePoint::kShuffleMapTaskDone);
         outcome.status = Status::Ok();
         outcomes.Push(std::move(outcome));
       });
@@ -143,37 +219,11 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
         ++in_flight;
       }
     }
-
-    bool need_recovery = false;
-    int recovery_shuffle = -1;
-    Status fatal;
-    for (size_t i = 0; i < in_flight; ++i) {
-      TaskOutcome outcome = outcomes.Pop();
-      if (outcome.status.ok()) {
-        continue;
-      }
-      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
-      switch (outcome.status.code()) {
-        case StatusCode::kUnavailable:
-          break;  // next attempt re-dispatches
-        case StatusCode::kDataLoss:
-          need_recovery = true;
-          recovery_shuffle = outcome.failed_shuffle;
-          break;
-        default:
-          if (fatal.ok()) {
-            fatal = outcome.status;
-          }
-          break;
-      }
-    }
-    if (!fatal.ok()) {
-      return fatal;
-    }
-    if (need_recovery && recovery_shuffle >= 0) {
-      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, depth + 1));
-    }
-  }
+    return in_flight;
+  };
+  // A successful map task registered a previously missing output.
+  spec.on_success = [](TaskOutcome&&) { return true; };
+  return RunStageLoop(spec);
 }
 
 Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
@@ -187,17 +237,22 @@ Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
   std::vector<bool> done(static_cast<size_t>(n), false);
   int remaining = n;
 
-  for (int attempt = 0; remaining > 0; ++attempt) {
-    if (attempt > 8 * kMaxRecoveryDepth) {
-      return Internal("result stage failed to converge");
-    }
-    OutcomeQueue outcomes;
+  StageLoopSpec spec;
+  spec.what = "result stage";
+  spec.max_stalled_rounds = 8 * kMaxRecoveryDepth;
+  spec.recovery_depth = 0;
+  spec.complete = [&remaining] { return remaining == 0; };
+  spec.prepare = [] { return Status::Ok(); };  // deps ensured above; losses recover below
+  spec.dispatch = [this, &rdd, &done, n](OutcomeQueue& outcomes) {
     size_t in_flight = 0;
     for (int p = 0; p < n; ++p) {
       if (done[static_cast<size_t>(p)]) {
         continue;
       }
       std::shared_ptr<NodeState> node = PickNode(rdd, p);
+      if (node == nullptr) {
+        break;  // nothing schedulable; the stage loop parks on WaitForLiveNode
+      }
       ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
       const bool queued = node->pool->Submit([this, node, rdd, p, &outcomes] {
         TaskContext tc(ctx_, node);
@@ -217,47 +272,19 @@ Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
         ++in_flight;
       }
     }
-    if (in_flight == 0) {
-      // Every pool rejected (all nodes revoked between PickNode and Submit).
-      ctx_->WaitForLiveNode();
-      continue;
+    return in_flight;
+  };
+  spec.on_success = [&results, &done, &remaining](TaskOutcome&& outcome) {
+    const size_t idx = static_cast<size_t>(outcome.index);
+    if (done[idx]) {
+      return false;  // duplicate completion (re-dispatch raced a slow task)
     }
-
-    bool need_recovery = false;
-    int recovery_shuffle = -1;
-    Status fatal;
-    for (size_t i = 0; i < in_flight; ++i) {
-      TaskOutcome outcome = outcomes.Pop();
-      if (outcome.status.ok()) {
-        if (!done[static_cast<size_t>(outcome.index)]) {
-          done[static_cast<size_t>(outcome.index)] = true;
-          results[static_cast<size_t>(outcome.index)] = std::move(outcome.data);
-          --remaining;
-        }
-        continue;
-      }
-      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
-      switch (outcome.status.code()) {
-        case StatusCode::kUnavailable:
-          break;
-        case StatusCode::kDataLoss:
-          need_recovery = true;
-          recovery_shuffle = outcome.failed_shuffle;
-          break;
-        default:
-          if (fatal.ok()) {
-            fatal = outcome.status;
-          }
-          break;
-      }
-    }
-    if (!fatal.ok()) {
-      return fatal;
-    }
-    if (need_recovery && recovery_shuffle >= 0) {
-      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, 0));
-    }
-  }
+    done[idx] = true;
+    results[idx] = std::move(outcome.data);
+    --remaining;
+    return true;
+  };
+  FLINT_RETURN_IF_ERROR(RunStageLoop(spec));
   return results;
 }
 

@@ -10,6 +10,7 @@
 #ifndef SRC_ENGINE_DAG_SCHEDULER_H_
 #define SRC_ENGINE_DAG_SCHEDULER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,7 @@ namespace flint {
 
 class FlintContext;
 struct NodeState;
+class OutcomeQueue;  // defined in dag_scheduler.cc
 
 class DagScheduler {
  public:
@@ -38,6 +40,27 @@ class DagScheduler {
   };
 
  private:
+  // Both stage kinds (shuffle-map and result) run through one retry loop so
+  // their park/retry/backoff behaviour cannot drift: each round dispatches
+  // whatever work is still missing, parks on WaitForLiveNode when every
+  // submission was rejected (the whole cluster revoked or draining between
+  // PickNode and Submit — the revocation-storm case), classifies outcomes
+  // (kUnavailable -> re-dispatch, kDataLoss -> recover the producing
+  // shuffle, anything else -> fatal), and gives up only after
+  // `max_stalled_rounds` consecutive rounds without progress. Parked rounds
+  // never count against convergence, and progress-free rounds back off
+  // exponentially so the loop cannot busy-spin.
+  struct StageLoopSpec {
+    const char* what = "stage";  // stage kind for the non-convergence error
+    int max_stalled_rounds = 0;  // progress-free dispatch rounds before giving up
+    int recovery_depth = 0;      // recursion depth for RecoverShuffle
+    std::function<bool()> complete;
+    std::function<Status()> prepare;                // runs before each dispatch round
+    std::function<size_t(OutcomeQueue&)> dispatch;  // submits missing work
+    // Consumes one successful outcome; returns true if it made new progress.
+    std::function<bool(TaskOutcome&&)> on_success;
+  };
+  Status RunStageLoop(const StageLoopSpec& spec);
 
   // Runs all shuffle-map stages `rdd` transitively needs.
   Status EnsureShuffleDeps(const RddPtr& rdd, int depth);
@@ -46,8 +69,9 @@ class DagScheduler {
   // Re-runs the producing stage of a shuffle after a fetch failure.
   Status RecoverShuffle(int shuffle_id, int depth);
 
-  // Picks an execution node for (rdd, partition), preferring cache locality;
-  // blocks while the cluster is empty. Returns nullptr only on shutdown.
+  // Picks an execution node for (rdd, partition) among nodes accepting new
+  // tasks, preferring cache locality. Returns nullptr when no such node
+  // exists — the caller's stage loop parks, never this function.
   std::shared_ptr<NodeState> PickNode(const RddPtr& rdd, int partition);
 
   FlintContext* ctx_;

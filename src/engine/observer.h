@@ -10,6 +10,28 @@
 
 namespace flint {
 
+// Precise execution points the engine exposes to a fault-injection probe
+// (src/inject/). The probe is called synchronously on the thread reaching
+// the point, so scripted faults (e.g. revoke every node) land exactly there
+// and the engine observes the loss deterministically.
+enum class EnginePoint {
+  kSchedulerRound,            // top of every stage retry round
+  kBeforeShuffleMapDispatch,  // shuffle stage: about to submit a round of map tasks
+  kShuffleMapTaskRun,         // executor: a shuffle map task started
+  kShuffleMapTaskDone,        // executor: a map output was registered
+  kCheckpointWrite,           // a checkpoint write is about to reach the DFS
+};
+inline constexpr size_t kEnginePointCount = 5;
+
+// Implemented by the fault injector. May be called concurrently from the
+// scheduler, executor, and checkpoint threads; must be thread-safe and must
+// not call back into the engine context (cluster-level operations are fine).
+class EngineProbe {
+ public:
+  virtual ~EngineProbe() = default;
+  virtual void AtPoint(EnginePoint point) = 0;
+};
+
 // All callbacks may fire on executor or timer threads; implementations must
 // be thread-safe and quick.
 class EngineObserver {

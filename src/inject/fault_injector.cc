@@ -1,0 +1,116 @@
+#include "src/inject/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace flint {
+
+namespace {
+
+size_t PointIndex(EnginePoint point) { return static_cast<size_t>(point); }
+
+}  // namespace
+
+FaultInjector::FaultInjector(ClusterManager* cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)), fired_(plan_.events.size(), false) {}
+
+FaultInjector::~FaultInjector() {
+  // Replacement timers capture `this`; settle them before members go away.
+  timers_.Drain();
+}
+
+void FaultInjector::AtPoint(EnginePoint point) {
+  std::vector<size_t> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.points_observed;
+    const int hit = hits_[PointIndex(point)]++;
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+      if (!fired_[i] && plan_.events[i].at == point && plan_.events[i].after_hits == hit) {
+        fired_[i] = true;
+        ++stats_.events_fired;
+        due.push_back(i);
+      }
+    }
+  }
+  // Execute outside the lock: revocations fan out through cluster listeners
+  // and may re-enter AtPoint from other points.
+  for (size_t i : due) {
+    Fire(plan_.events[i]);
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  std::vector<NodeId> victims;
+  switch (event.action) {
+    case FaultActionKind::kRevokeAll:
+      for (const NodeInfo& info : cluster_->LiveNodes()) {
+        victims.push_back(info.node_id);
+      }
+      break;
+    case FaultActionKind::kRevokeCount:
+      for (const NodeInfo& info : cluster_->LiveNodes()) {
+        victims.push_back(info.node_id);
+      }
+      // Lowest ids first, so "k of m" is deterministic regardless of the
+      // membership map's iteration order.
+      std::sort(victims.begin(), victims.end());
+      if (static_cast<size_t>(event.count) < victims.size()) {
+        victims.resize(static_cast<size_t>(event.count));
+      }
+      break;
+    case FaultActionKind::kRevokeMarket:
+      for (const NodeInfo& info : cluster_->LiveNodes()) {
+        if (info.market == event.market) {
+          victims.push_back(info.node_id);
+        }
+      }
+      break;
+    case FaultActionKind::kAddNodes:
+      for (int i = 0; i < event.count; ++i) {
+        cluster_->AddNode(event.market, event.replacement_memory_bytes,
+                          event.replacement_executor_threads);
+      }
+      return;
+  }
+  std::sort(victims.begin(), victims.end());
+  if (!victims.empty()) {
+    FLINT_ILOG() << "fault injection: revoking " << victims.size() << " node(s)"
+                 << (event.with_warning ? " with warning" : "");
+    cluster_->Revoke(victims, event.with_warning);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.nodes_revoked += victims.size();
+  }
+  if (event.replacement_count > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.replacements_scheduled += static_cast<uint64_t>(event.replacement_count);
+    }
+    timers_.ScheduleAfter(WallDuration(event.replacement_delay_seconds), [this, event] {
+      for (int i = 0; i < event.replacement_count; ++i) {
+        cluster_->AddNode(event.market, event.replacement_memory_bytes,
+                          event.replacement_executor_threads);
+      }
+    });
+  }
+}
+
+FaultInjector::Stats FaultInjector::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int FaultInjector::HitCount(EnginePoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_[PointIndex(point)];
+}
+
+bool FaultInjector::AllEventsFired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::all_of(fired_.begin(), fired_.end(), [](bool f) { return f; });
+}
+
+void FaultInjector::Drain() { timers_.Drain(); }
+
+}  // namespace flint

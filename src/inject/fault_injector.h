@@ -1,0 +1,64 @@
+// Executes a FaultPlan against a live cluster. The injector implements
+// EngineProbe: install it with FlintContext::SetProbe and every scripted
+// event fires synchronously on the engine thread that reaches its trigger
+// point, revoking nodes through the ordinary ClusterManager machinery — so
+// the engine, node manager, and fault-tolerance manager observe the loss
+// exactly as they would from a real market revocation, at a deterministic
+// point in the job's execution.
+
+#ifndef SRC_INJECT_FAULT_INJECTOR_H_
+#define SRC_INJECT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/cluster/timer_queue.h"
+#include "src/engine/observer.h"
+#include "src/inject/fault_plan.h"
+
+namespace flint {
+
+class FaultInjector : public EngineProbe {
+ public:
+  FaultInjector(ClusterManager* cluster, FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // EngineProbe. Thread-safe; events execute outside the internal lock.
+  void AtPoint(EnginePoint point) override;
+
+  struct Stats {
+    uint64_t points_observed = 0;
+    uint64_t events_fired = 0;
+    uint64_t nodes_revoked = 0;
+    uint64_t replacements_scheduled = 0;
+  };
+  Stats GetStats() const;
+  int HitCount(EnginePoint point) const;
+  bool AllEventsFired() const;
+
+  // Blocks until every scheduled replacement has joined the cluster.
+  void Drain();
+
+ private:
+  void Fire(const FaultEvent& event);
+
+  ClusterManager* cluster_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;
+  std::array<int, kEnginePointCount> hits_{};
+  std::vector<bool> fired_;
+  Stats stats_;
+
+  TimerQueue timers_;  // delayed replacement arrivals
+};
+
+}  // namespace flint
+
+#endif  // SRC_INJECT_FAULT_INJECTOR_H_

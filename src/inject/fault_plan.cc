@@ -1,0 +1,30 @@
+#include "src/inject/fault_plan.h"
+
+namespace flint {
+
+FaultEvent RevokeAllAt(EnginePoint at, int after_hits, bool with_warning, int replacements,
+                       double delay_seconds) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kRevokeAll;
+  event.with_warning = with_warning;
+  event.replacement_count = replacements;
+  event.replacement_delay_seconds = delay_seconds;
+  return event;
+}
+
+FaultEvent RevokeCountAt(EnginePoint at, int after_hits, int count, bool with_warning,
+                         double delay_seconds) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kRevokeCount;
+  event.count = count;
+  event.with_warning = with_warning;
+  event.replacement_count = count;
+  event.replacement_delay_seconds = delay_seconds;
+  return event;
+}
+
+}  // namespace flint

@@ -1,0 +1,71 @@
+// Scripted fault plans for deterministic revocation-storm testing.
+//
+// A FaultPlan is a list of FaultEvents, each bound to a precise EnginePoint
+// (src/engine/observer.h) and an arrival count at that point: "on the Nth
+// time the engine reaches X, do Y". Actions cover the storm shapes the paper
+// measures (Sec 5.3, Fig 7/8): revoke the whole cluster, revoke k of m
+// nodes, revoke a whole market, with or without the provider warning, with
+// replacements arriving after a configurable delay (the restoration policy's
+// acquisition delay) or never.
+//
+// Plans are plain data so tests can table-drive storm scenarios; the
+// FaultInjector (fault_injector.h) executes them.
+
+#ifndef SRC_INJECT_FAULT_PLAN_H_
+#define SRC_INJECT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/common/units.h"
+#include "src/engine/observer.h"
+
+namespace flint {
+
+enum class FaultActionKind {
+  kRevokeAll,     // revoke every live node
+  kRevokeCount,   // revoke up to `count` live nodes (lowest node ids first)
+  kRevokeMarket,  // revoke every live node acquired from `market`
+  kAddNodes,      // add `count` nodes without revoking anything
+};
+
+struct FaultEvent {
+  EnginePoint at = EnginePoint::kSchedulerRound;
+  // Fires on the (after_hits + 1)-th arrival at `at`. Each event is
+  // one-shot; script repeated storms with one event per occurrence.
+  int after_hits = 0;
+
+  FaultActionKind action = FaultActionKind::kRevokeAll;
+  int count = 0;             // kRevokeCount / kAddNodes
+  MarketId market = 0;       // kRevokeMarket victim; market of added nodes
+  bool with_warning = false; // deliver the revocation warning first
+
+  // Replacement nodes brought up this many engine seconds after the event
+  // fires. Zero replacements models a storm that leaves the cluster empty
+  // until some later event repopulates it.
+  int replacement_count = 0;
+  double replacement_delay_seconds = 0.0;
+  uint64_t replacement_memory_bytes = 64 * kMiB;
+  int replacement_executor_threads = 1;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+};
+
+// Convenience constructors for the common storm shapes.
+
+// Revoke every live node when `at` is reached for the (after_hits+1)-th
+// time; `replacements` nodes join `delay_seconds` later.
+FaultEvent RevokeAllAt(EnginePoint at, int after_hits, bool with_warning, int replacements,
+                       double delay_seconds);
+
+// Revoke `count` nodes (lowest ids first) at the trigger; one replacement
+// per victim joins `delay_seconds` later.
+FaultEvent RevokeCountAt(EnginePoint at, int after_hits, int count, bool with_warning,
+                         double delay_seconds);
+
+}  // namespace flint
+
+#endif  // SRC_INJECT_FAULT_PLAN_H_

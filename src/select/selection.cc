@@ -196,10 +196,18 @@ Result<MixEvaluation> ServerSelector::SelectInteractive(
     MixEvaluation od = EvaluateMix({kOnDemandMarket}, now, job);
     return od;
   }
-  // 2. Sort candidates by expected unit cost (batch criterion).
-  std::sort(candidates.begin(), candidates.end(), [&](MarketId a, MarketId b) {
-    return Evaluate(a, now, job).expected_unit_cost < Evaluate(b, now, job).expected_unit_cost;
-  });
+  // 2. Sort candidates by expected unit cost (batch criterion). Evaluate
+  // walks the full price history, so compute each cost exactly once instead
+  // of inside the comparator (which re-evaluates O(n log n) times).
+  std::vector<std::pair<double, MarketId>> ranked;
+  ranked.reserve(candidates.size());
+  for (MarketId id : candidates) {
+    ranked.emplace_back(Evaluate(id, now, job).expected_unit_cost, id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    candidates[i] = ranked[i].second;
+  }
   const double on_demand_cost = marketplace_->on_demand_price();
 
   // 3. Greedily add markets while the variance decreases.

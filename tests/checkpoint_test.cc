@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "src/checkpoint/checkpoint_policy.h"
 #include "src/common/stats.h"
@@ -222,6 +223,42 @@ TEST(FtManagerTest, SystemsLevelSnapshotsWholeCache) {
   EXPECT_TRUE(snapshotted);
   // Both cached RDDs' partitions appear in the snapshot (8 blocks).
   EXPECT_GE(h.dfs().List("sys/").size(), 8u);
+}
+
+// The periodic signal must not be bankable: an unconsumed signal expires
+// after signal_expiry_factor * tau instead of marking whatever RDD happens
+// to be generated much later (possibly doubling that interval's checkpoints).
+TEST(FtManagerTest, StaleCheckpointSignalExpiresInsteadOfMarking) {
+  EngineHarness h;
+  CheckpointConfig cfg;
+  cfg.policy = CheckpointPolicyKind::kFixedInterval;
+  cfg.fixed_interval_seconds = 0.05;  // expiry window = 50 ms
+  FaultToleranceManager ft(&h.ctx(), cfg);  // no Start(): rounds fired by hand
+
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto source = Parallelize(&h.ctx(), data, 2);
+
+  // Fresh signal: the next dependent RDD is marked.
+  ft.FireCheckpointRound();
+  auto fresh = source.Map([](const int& x) { return x + 1; });
+  EXPECT_EQ(fresh.raw()->checkpoint_state(), CheckpointState::kMarked);
+  EXPECT_EQ(ft.GetStats().signals_expired, 0u);
+
+  // Stale signal: fired, then nothing generated for > the expiry window.
+  ft.FireCheckpointRound();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto stale = source.Map([](const int& x) { return x + 2; });
+  EXPECT_EQ(stale.raw()->checkpoint_state(), CheckpointState::kNone);
+  EXPECT_EQ(ft.GetStats().signals_expired, 1u);
+
+  // An unconsumed signal surviving to the next round also counts as expired
+  // (it is re-armed with a fresh window, not silently carried over).
+  ft.FireCheckpointRound();
+  ft.FireCheckpointRound();
+  EXPECT_EQ(ft.GetStats().signals_expired, 2u);
+  auto consumed = source.Map([](const int& x) { return x + 3; });
+  EXPECT_EQ(consumed.raw()->checkpoint_state(), CheckpointState::kMarked);
 }
 
 }  // namespace

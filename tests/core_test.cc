@@ -152,5 +152,50 @@ TEST(FlintClusterTest, MarketDrivenRevocationsReplaceNodesAutomatically) {
   EXPECT_EQ(cluster.cluster().NumLiveNodes(), 6u);
 }
 
+// Restoration exclusion is per-market: an unrelated node joining must not
+// re-admit a market whose own replacement is still pending (the old code
+// cleared the entire exclusion set on any join).
+TEST(FlintClusterTest, ExclusionClearsPerMarketNotGlobally) {
+  FlintOptions options = FastOptions(SelectionPolicyKind::kFlintBatch);
+  options.time.seconds_per_model_hour = 10.0;  // replacements stay pending during the test
+  FlintCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto live = cluster.cluster().LiveNodes();
+  ASSERT_FALSE(live.empty());
+  const NodeInfo victim = live.front();
+  ASSERT_NE(victim.market, kOnDemandMarket);
+
+  cluster.nodes().OnNodeWarning(victim);
+  EXPECT_EQ(cluster.nodes().ExcludedMarkets(), std::vector<MarketId>{victim.market});
+
+  NodeInfo unrelated;
+  unrelated.node_id = 424242;  // no pending replacement maps to this node
+  unrelated.market = victim.market + 1;
+  cluster.nodes().OnNodeAdded(unrelated);
+  EXPECT_EQ(cluster.nodes().ExcludedMarkets(), std::vector<MarketId>{victim.market});
+}
+
+// The exclusion also lapses after the configured cooldown even if the
+// market's replacement never lands (e.g. it fell back to on-demand).
+TEST(FlintClusterTest, ExclusionLapsesAfterCooldown) {
+  FlintOptions options = FastOptions(SelectionPolicyKind::kFlintBatch);
+  options.time.seconds_per_model_hour = 10.0;
+  options.nodes.revocation_exclusion_cooldown = Hours(0.0002);  // 20 ms wall
+  FlintCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto live = cluster.cluster().LiveNodes();
+  ASSERT_FALSE(live.empty());
+  const NodeInfo victim = live.front();
+
+  cluster.nodes().OnNodeWarning(victim);
+  ASSERT_EQ(cluster.nodes().ExcludedMarkets().size(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  NodeInfo unrelated;
+  unrelated.node_id = 424243;
+  unrelated.market = victim.market;
+  cluster.nodes().OnNodeAdded(unrelated);  // triggers lazy pruning
+  EXPECT_TRUE(cluster.nodes().ExcludedMarkets().empty());
+}
+
 }  // namespace
 }  // namespace flint

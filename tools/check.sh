@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a TSan pass over the fault-injection suite.
+#
+#   tools/check.sh            # full build + ctest, then TSan storm tests
+#   tools/check.sh --fast     # skip the TSan pass
+#
+# The TSan pass rebuilds into build-tsan/ with FLINT_SANITIZE=thread and runs
+# only the storm scenarios (tests/fault_injection_test.cc): they exercise the
+# revocation paths from injector, timer, executor, and scheduler threads at
+# once, which is where data races would live.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipping TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== TSan: build (FLINT_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DFLINT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target flint_tests
+
+echo "== TSan: fault-injection storm tests =="
+./build-tsan/tests/flint_tests --gtest_filter='FaultInject*'
+
+echo "== all checks passed =="
