@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_availability.dir/fig02_availability.cc.o"
+  "CMakeFiles/fig02_availability.dir/fig02_availability.cc.o.d"
+  "fig02_availability"
+  "fig02_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_memory_pressure.dir/fig03_memory_pressure.cc.o"
+  "CMakeFiles/fig03_memory_pressure.dir/fig03_memory_pressure.cc.o.d"
+  "fig03_memory_pressure"
+  "fig03_memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

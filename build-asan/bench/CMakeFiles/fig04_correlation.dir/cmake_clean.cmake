@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_correlation.dir/fig04_correlation.cc.o"
+  "CMakeFiles/fig04_correlation.dir/fig04_correlation.cc.o.d"
+  "fig04_correlation"
+  "fig04_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_checkpoint_tax.dir/fig06_checkpoint_tax.cc.o"
+  "CMakeFiles/fig06_checkpoint_tax.dir/fig06_checkpoint_tax.cc.o.d"
+  "fig06_checkpoint_tax"
+  "fig06_checkpoint_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_checkpoint_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

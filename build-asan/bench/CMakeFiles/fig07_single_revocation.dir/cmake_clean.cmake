@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_revocation.dir/fig07_single_revocation.cc.o"
+  "CMakeFiles/fig07_single_revocation.dir/fig07_single_revocation.cc.o.d"
+  "fig07_single_revocation"
+  "fig07_single_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

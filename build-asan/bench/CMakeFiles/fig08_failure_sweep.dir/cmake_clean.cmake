@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_failure_sweep.dir/fig08_failure_sweep.cc.o"
+  "CMakeFiles/fig08_failure_sweep.dir/fig08_failure_sweep.cc.o.d"
+  "fig08_failure_sweep"
+  "fig08_failure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_failure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

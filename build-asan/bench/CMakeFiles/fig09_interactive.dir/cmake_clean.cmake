@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_interactive.dir/fig09_interactive.cc.o"
+  "CMakeFiles/fig09_interactive.dir/fig09_interactive.cc.o.d"
+  "fig09_interactive"
+  "fig09_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

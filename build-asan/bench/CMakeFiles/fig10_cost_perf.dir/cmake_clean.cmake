@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cost_perf.dir/fig10_cost_perf.cc.o"
+  "CMakeFiles/fig10_cost_perf.dir/fig10_cost_perf.cc.o.d"
+  "fig10_cost_perf"
+  "fig10_cost_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cost_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cost_savings.dir/fig11_cost_savings.cc.o"
+  "CMakeFiles/fig11_cost_savings.dir/fig11_cost_savings.cc.o.d"
+  "fig11_cost_savings"
+  "fig11_cost_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

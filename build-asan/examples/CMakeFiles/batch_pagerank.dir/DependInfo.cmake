@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/batch_pagerank.cpp" "examples/CMakeFiles/batch_pagerank.dir/batch_pagerank.cpp.o" "gcc" "examples/CMakeFiles/batch_pagerank.dir/batch_pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/flint_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/flint_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/flint_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checkpoint/CMakeFiles/flint_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/select/CMakeFiles/flint_select.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/engine/CMakeFiles/flint_engine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/flint_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/flint_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_pagerank.dir/batch_pagerank.cpp.o"
+  "CMakeFiles/batch_pagerank.dir/batch_pagerank.cpp.o.d"
+  "batch_pagerank"
+  "batch_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_analytics.dir/interactive_analytics.cpp.o"
+  "CMakeFiles/interactive_analytics.dir/interactive_analytics.cpp.o.d"
+  "interactive_analytics"
+  "interactive_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

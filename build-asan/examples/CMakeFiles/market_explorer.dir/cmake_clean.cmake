@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_explorer.dir/market_explorer.cpp.o"
+  "CMakeFiles/market_explorer.dir/market_explorer.cpp.o.d"
+  "market_explorer"
+  "market_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

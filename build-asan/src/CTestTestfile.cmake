@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("market")
+subdirs("cluster")
+subdirs("dfs")
+subdirs("engine")
+subdirs("inject")
+subdirs("checkpoint")
+subdirs("select")
+subdirs("core")
+subdirs("workloads")
+subdirs("sim")

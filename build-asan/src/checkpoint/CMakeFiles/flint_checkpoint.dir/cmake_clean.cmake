@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_checkpoint.dir/ft_manager.cc.o"
+  "CMakeFiles/flint_checkpoint.dir/ft_manager.cc.o.d"
+  "libflint_checkpoint.a"
+  "libflint_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

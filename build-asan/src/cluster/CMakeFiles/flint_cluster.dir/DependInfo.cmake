@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_manager.cc" "src/cluster/CMakeFiles/flint_cluster.dir/cluster_manager.cc.o" "gcc" "src/cluster/CMakeFiles/flint_cluster.dir/cluster_manager.cc.o.d"
+  "/root/repo/src/cluster/timer_queue.cc" "src/cluster/CMakeFiles/flint_cluster.dir/timer_queue.cc.o" "gcc" "src/cluster/CMakeFiles/flint_cluster.dir/timer_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_cluster.dir/cluster_manager.cc.o"
+  "CMakeFiles/flint_cluster.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/flint_cluster.dir/timer_queue.cc.o"
+  "CMakeFiles/flint_cluster.dir/timer_queue.cc.o.d"
+  "libflint_cluster.a"
+  "libflint_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_common.dir/crc32.cc.o"
+  "CMakeFiles/flint_common.dir/crc32.cc.o.d"
+  "CMakeFiles/flint_common.dir/log.cc.o"
+  "CMakeFiles/flint_common.dir/log.cc.o.d"
+  "CMakeFiles/flint_common.dir/stats.cc.o"
+  "CMakeFiles/flint_common.dir/stats.cc.o.d"
+  "CMakeFiles/flint_common.dir/status.cc.o"
+  "CMakeFiles/flint_common.dir/status.cc.o.d"
+  "CMakeFiles/flint_common.dir/thread_pool.cc.o"
+  "CMakeFiles/flint_common.dir/thread_pool.cc.o.d"
+  "libflint_common.a"
+  "libflint_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_core.dir/flint_cluster.cc.o"
+  "CMakeFiles/flint_core.dir/flint_cluster.cc.o.d"
+  "CMakeFiles/flint_core.dir/node_manager.cc.o"
+  "CMakeFiles/flint_core.dir/node_manager.cc.o.d"
+  "libflint_core.a"
+  "libflint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/dfs.cc" "src/dfs/CMakeFiles/flint_dfs.dir/dfs.cc.o" "gcc" "src/dfs/CMakeFiles/flint_dfs.dir/dfs.cc.o.d"
+  "/root/repo/src/dfs/manifest.cc" "src/dfs/CMakeFiles/flint_dfs.dir/manifest.cc.o" "gcc" "src/dfs/CMakeFiles/flint_dfs.dir/manifest.cc.o.d"
+  "/root/repo/src/dfs/retry.cc" "src/dfs/CMakeFiles/flint_dfs.dir/retry.cc.o" "gcc" "src/dfs/CMakeFiles/flint_dfs.dir/retry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_dfs.dir/dfs.cc.o"
+  "CMakeFiles/flint_dfs.dir/dfs.cc.o.d"
+  "CMakeFiles/flint_dfs.dir/manifest.cc.o"
+  "CMakeFiles/flint_dfs.dir/manifest.cc.o.d"
+  "CMakeFiles/flint_dfs.dir/retry.cc.o"
+  "CMakeFiles/flint_dfs.dir/retry.cc.o.d"
+  "libflint_dfs.a"
+  "libflint_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/block_manager.cc" "src/engine/CMakeFiles/flint_engine.dir/block_manager.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/block_manager.cc.o.d"
+  "/root/repo/src/engine/context.cc" "src/engine/CMakeFiles/flint_engine.dir/context.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/context.cc.o.d"
+  "/root/repo/src/engine/dag_scheduler.cc" "src/engine/CMakeFiles/flint_engine.dir/dag_scheduler.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/dag_scheduler.cc.o.d"
+  "/root/repo/src/engine/rdd.cc" "src/engine/CMakeFiles/flint_engine.dir/rdd.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/rdd.cc.o.d"
+  "/root/repo/src/engine/shuffle_manager.cc" "src/engine/CMakeFiles/flint_engine.dir/shuffle_manager.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/shuffle_manager.cc.o.d"
+  "/root/repo/src/engine/task_context.cc" "src/engine/CMakeFiles/flint_engine.dir/task_context.cc.o" "gcc" "src/engine/CMakeFiles/flint_engine.dir/task_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/flint_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/flint_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_engine.dir/block_manager.cc.o"
+  "CMakeFiles/flint_engine.dir/block_manager.cc.o.d"
+  "CMakeFiles/flint_engine.dir/context.cc.o"
+  "CMakeFiles/flint_engine.dir/context.cc.o.d"
+  "CMakeFiles/flint_engine.dir/dag_scheduler.cc.o"
+  "CMakeFiles/flint_engine.dir/dag_scheduler.cc.o.d"
+  "CMakeFiles/flint_engine.dir/rdd.cc.o"
+  "CMakeFiles/flint_engine.dir/rdd.cc.o.d"
+  "CMakeFiles/flint_engine.dir/shuffle_manager.cc.o"
+  "CMakeFiles/flint_engine.dir/shuffle_manager.cc.o.d"
+  "CMakeFiles/flint_engine.dir/task_context.cc.o"
+  "CMakeFiles/flint_engine.dir/task_context.cc.o.d"
+  "libflint_engine.a"
+  "libflint_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

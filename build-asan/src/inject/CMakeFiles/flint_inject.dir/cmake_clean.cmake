@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_inject.dir/fault_injector.cc.o"
+  "CMakeFiles/flint_inject.dir/fault_injector.cc.o.d"
+  "CMakeFiles/flint_inject.dir/fault_plan.cc.o"
+  "CMakeFiles/flint_inject.dir/fault_plan.cc.o.d"
+  "libflint_inject.a"
+  "libflint_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/marketplace.cc" "src/market/CMakeFiles/flint_market.dir/marketplace.cc.o" "gcc" "src/market/CMakeFiles/flint_market.dir/marketplace.cc.o.d"
+  "/root/repo/src/market/spot_market.cc" "src/market/CMakeFiles/flint_market.dir/spot_market.cc.o" "gcc" "src/market/CMakeFiles/flint_market.dir/spot_market.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_market.dir/marketplace.cc.o"
+  "CMakeFiles/flint_market.dir/marketplace.cc.o.d"
+  "CMakeFiles/flint_market.dir/spot_market.cc.o"
+  "CMakeFiles/flint_market.dir/spot_market.cc.o.d"
+  "libflint_market.a"
+  "libflint_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_select.dir/selection.cc.o"
+  "CMakeFiles/flint_select.dir/selection.cc.o.d"
+  "libflint_select.a"
+  "libflint_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflint_select.a"
+)

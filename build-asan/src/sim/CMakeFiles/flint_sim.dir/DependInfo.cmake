@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/monte_carlo.cc" "src/sim/CMakeFiles/flint_sim.dir/monte_carlo.cc.o" "gcc" "src/sim/CMakeFiles/flint_sim.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/sim/trace_sim.cc" "src/sim/CMakeFiles/flint_sim.dir/trace_sim.cc.o" "gcc" "src/sim/CMakeFiles/flint_sim.dir/trace_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/select/CMakeFiles/flint_select.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

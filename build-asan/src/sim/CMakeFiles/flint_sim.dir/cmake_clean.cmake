@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_sim.dir/monte_carlo.cc.o"
+  "CMakeFiles/flint_sim.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/flint_sim.dir/trace_sim.cc.o"
+  "CMakeFiles/flint_sim.dir/trace_sim.cc.o.d"
+  "libflint_sim.a"
+  "libflint_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/market_catalog.cc" "src/trace/CMakeFiles/flint_trace.dir/market_catalog.cc.o" "gcc" "src/trace/CMakeFiles/flint_trace.dir/market_catalog.cc.o.d"
+  "/root/repo/src/trace/price_trace.cc" "src/trace/CMakeFiles/flint_trace.dir/price_trace.cc.o" "gcc" "src/trace/CMakeFiles/flint_trace.dir/price_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

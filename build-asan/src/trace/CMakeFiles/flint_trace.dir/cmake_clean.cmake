@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_trace.dir/market_catalog.cc.o"
+  "CMakeFiles/flint_trace.dir/market_catalog.cc.o.d"
+  "CMakeFiles/flint_trace.dir/price_trace.cc.o"
+  "CMakeFiles/flint_trace.dir/price_trace.cc.o.d"
+  "libflint_trace.a"
+  "libflint_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

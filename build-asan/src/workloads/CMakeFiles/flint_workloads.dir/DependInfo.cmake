@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/als.cc" "src/workloads/CMakeFiles/flint_workloads.dir/als.cc.o" "gcc" "src/workloads/CMakeFiles/flint_workloads.dir/als.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/flint_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/flint_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/flint_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/flint_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/workloads/CMakeFiles/flint_workloads.dir/tpch.cc.o" "gcc" "src/workloads/CMakeFiles/flint_workloads.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/engine/CMakeFiles/flint_engine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/flint_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/flint_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

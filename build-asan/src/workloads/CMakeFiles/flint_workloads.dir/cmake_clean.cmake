@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flint_workloads.dir/als.cc.o"
+  "CMakeFiles/flint_workloads.dir/als.cc.o.d"
+  "CMakeFiles/flint_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/flint_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/flint_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/flint_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/flint_workloads.dir/tpch.cc.o"
+  "CMakeFiles/flint_workloads.dir/tpch.cc.o.d"
+  "libflint_workloads.a"
+  "libflint_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flint_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/flint_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/cluster_dfs_test.cc" "tests/CMakeFiles/flint_tests.dir/cluster_dfs_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/cluster_dfs_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/flint_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/dfs_fault_test.cc" "tests/CMakeFiles/flint_tests.dir/dfs_fault_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/dfs_fault_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "tests/CMakeFiles/flint_tests.dir/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/engine_edge_test.cc.o.d"
+  "/root/repo/tests/engine_ops_test.cc" "tests/CMakeFiles/flint_tests.dir/engine_ops_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/engine_ops_test.cc.o.d"
+  "/root/repo/tests/engine_smoke_test.cc" "tests/CMakeFiles/flint_tests.dir/engine_smoke_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/engine_smoke_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/flint_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/market_test.cc" "tests/CMakeFiles/flint_tests.dir/market_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/market_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/flint_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/select_test.cc" "tests/CMakeFiles/flint_tests.dir/select_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/select_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/flint_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/tpch_extended_test.cc" "tests/CMakeFiles/flint_tests.dir/tpch_extended_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/tpch_extended_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/flint_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/flint_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/flint_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/flint_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/flint_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/flint_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checkpoint/CMakeFiles/flint_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/select/CMakeFiles/flint_select.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/inject/CMakeFiles/flint_inject.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/engine/CMakeFiles/flint_engine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/market/CMakeFiles/flint_market.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/flint_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/flint_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/flint_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/flint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

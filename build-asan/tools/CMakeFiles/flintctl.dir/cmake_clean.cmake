@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flintctl.dir/flintctl.cc.o"
+  "CMakeFiles/flintctl.dir/flintctl.cc.o.d"
+  "flintctl"
+  "flintctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flintctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

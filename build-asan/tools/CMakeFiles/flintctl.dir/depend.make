@@ -1,0 +1,2 @@
+# Empty dependencies file for flintctl.
+# This may be replaced when dependencies are built.

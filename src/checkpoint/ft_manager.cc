@@ -116,9 +116,42 @@ void FaultToleranceManager::SignalLoop() {
 }
 
 void FaultToleranceManager::FireCheckpointRound() {
+  SweepPendingNow();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.signals_fired;
+  }
+  // Degraded mode: the store has swallowed the retry budget of several
+  // writes in a row. Signalling more checkpoints would only queue more
+  // doomed work, so probe cheaply and skip the round until the probe lands.
+  bool probe_needed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    probe_needed = degraded_;
+  }
+  if (probe_needed) {
+    if (ProbeStore()) {
+      bool recovered = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (degraded_) {
+          degraded_ = false;
+          consecutive_write_failures_ = 0;
+          ++stats_.degraded_recovered;
+          recovered = true;
+        }
+      }
+      if (recovered) {
+        FLINT_ILOG() << "DFS probe succeeded: leaving degraded mode, resuming checkpoints";
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.signals_suspended;
+      }
+      FLINT_ILOG() << "degraded: checkpoint signal suspended (store still failing probes)";
+      return;
+    }
   }
   if (config_.policy == CheckpointPolicyKind::kSystemsLevel) {
     SystemsLevelSnapshot();
@@ -171,6 +204,7 @@ void FaultToleranceManager::MarkRdd(const RddPtr& rdd, bool enqueue_writes) {
       pending.remaining.insert(p);
     }
     pending.started = WallClock::now();
+    pending.last_progress = pending.started;
     pending_[rdd->id()] = std::move(pending);
   }
   FLINT_ILOG() << "checkpoint marked: rdd " << rdd->id() << " (" << rdd->name() << ")";
@@ -266,6 +300,11 @@ void FaultToleranceManager::OnRddCreated(const RddPtr& rdd) {
   bool mark = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (degraded_) {
+      // The store is rejecting writes; marking would only queue doomed work.
+      // Pending signals stay armed (their expiry handles staleness).
+      return;
+    }
     if (signal_pending_) {
       signal_pending_ = false;
       const double age = WallDuration(WallClock::now() - signal_fired_at_).count();
@@ -326,32 +365,150 @@ void FaultToleranceManager::OnCheckpointWritten(const RddPtr& rdd, int partition
                                                 double write_seconds) {
   (void)write_seconds;
   RddPtr completed;
+  WallTime started{};
+  bool recovered = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.partitions_written += 1;
     stats_.bytes_written += bytes;
+    // Any successful write proves the store is taking data again.
+    consecutive_write_failures_ = 0;
+    if (degraded_) {
+      degraded_ = false;
+      ++stats_.degraded_recovered;
+      recovered = true;
+    }
     auto it = pending_.find(rdd->id());
-    if (it == pending_.end()) {
-      return;
+    if (it != pending_.end()) {
+      it->second.remaining.erase(partition);  // idempotent under racing writers
+      it->second.last_progress = WallClock::now();
+      if (it->second.remaining.empty()) {
+        completed = it->second.rdd;
+        started = it->second.started;
+        pending_.erase(it);
+      }
     }
-    it->second.remaining.erase(partition);  // idempotent under racing writers
-    if (!it->second.remaining.empty()) {
-      return;
-    }
-    // Whole RDD durably saved: measure effective delta for this round.
-    const double measured = WallDuration(WallClock::now() - it->second.started).count();
+  }
+  if (recovered) {
+    FLINT_ILOG() << "checkpoint write succeeded: leaving degraded mode";
+  }
+  if (completed == nullptr) {
+    return;
+  }
+  // Every partition is durable; commit the manifest (written last, after
+  // re-verifying each partition's size and checksum against the store). Only
+  // a landed manifest makes the checkpoint visible to recovery.
+  Status st = ctx_->CommitCheckpointManifest(completed);
+  if (!st.ok()) {
+    FLINT_WLOG() << "manifest commit failed for rdd " << completed->id() << ": " << st.ToString();
+    ctx_->QuarantineCheckpoint(completed, "manifest commit failed: " + st.ToString());
+    return;
+  }
+  // Measure effective delta for this round, retry and commit time included —
+  // a slow store genuinely raises the cost of a checkpoint, and tau should
+  // stretch accordingly.
+  const double measured = WallDuration(WallClock::now() - started).count();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     delta_seconds_ = config_.delta_ewma_alpha * measured +
                      (1.0 - config_.delta_ewma_alpha) * delta_seconds_;
-    completed = it->second.rdd;
-    pending_.erase(it);
     stats_.rdds_checkpointed += 1;
   }
   completed->SetCheckpointSaved();
-  FLINT_ILOG() << "checkpoint saved: rdd " << completed->id();
+  FLINT_ILOG() << "checkpoint saved: rdd " << completed->id() << " (manifest committed)";
   thread_cv_.notify_all();  // tau may have changed with delta
   if (config_.gc_enabled) {
     GarbageCollectAncestors(completed);
   }
+}
+
+void FaultToleranceManager::OnCheckpointWriteFailed(const RddPtr& rdd, int partition,
+                                                    const Status& status) {
+  (void)partition;
+  bool entered = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes_failed;
+    ++consecutive_write_failures_;
+    auto it = pending_.find(rdd->id());
+    if (it != pending_.end()) {
+      // A failure is still progress in the sweep's sense: the writer is
+      // alive, the store is not. Re-enqueueing now would burn retry budget
+      // against a store that already rejected a full backoff cycle.
+      it->second.last_progress = WallClock::now();
+    }
+    if (!degraded_ && config_.degraded_after_failures > 0 &&
+        consecutive_write_failures_ >= config_.degraded_after_failures) {
+      degraded_ = true;
+      ++stats_.degraded_entered;
+      entered = true;
+    }
+  }
+  if (entered) {
+    FLINT_WLOG() << "entering degraded mode after " << config_.degraded_after_failures
+                 << " consecutive abandoned writes (last: " << status.ToString()
+                 << "); checkpoint signals suspended";
+  }
+}
+
+void FaultToleranceManager::SweepPendingNow() {
+  struct Requeue {
+    RddPtr rdd;
+    std::vector<int> partitions;
+  };
+  std::vector<Requeue> requeue;
+  std::vector<RddPtr> expired;
+  const WallTime now = WallClock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      PendingCheckpoint& p = it->second;
+      const double quiet_s = WallDuration(now - p.last_progress).count();
+      if (p.remaining.empty() || quiet_s < config_.pending_retry_seconds) {
+        ++it;
+        continue;
+      }
+      if (p.retries >= config_.pending_max_retries) {
+        ++stats_.pending_expired;
+        expired.push_back(p.rdd);
+        it = pending_.erase(it);
+        continue;
+      }
+      ++p.retries;
+      ++stats_.pending_requeued;
+      p.last_progress = now;
+      requeue.push_back(Requeue{p.rdd, {p.remaining.begin(), p.remaining.end()}});
+      ++it;
+    }
+  }
+  for (const Requeue& r : requeue) {
+    FLINT_WLOG() << "checkpoint stalled: re-enqueueing " << r.partitions.size()
+                 << " partition(s) of rdd " << r.rdd->id();
+    for (int part : r.partitions) {
+      Status st = ctx_->EnqueueCheckpointWrite(r.rdd, part);
+      if (!st.ok()) {
+        FLINT_WLOG() << "checkpoint re-enqueue failed: " << st.ToString();
+      }
+    }
+  }
+  for (const RddPtr& rdd : expired) {
+    ctx_->QuarantineCheckpoint(rdd, "pending checkpoint made no progress after " +
+                                        std::to_string(config_.pending_max_retries) +
+                                        " re-enqueues");
+  }
+}
+
+bool FaultToleranceManager::ProbeStore() {
+  DfsObject obj;
+  obj.size_bytes = 1;
+  obj.data = std::shared_ptr<const void>(
+      new uint8_t(0), [](const void* p) { delete static_cast<const uint8_t*>(p); });
+  return ctx_->dfs().Put("ckpt/.probe", std::move(obj)).ok();
+}
+
+bool FaultToleranceManager::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
 }
 
 void FaultToleranceManager::GarbageCollectAncestors(const RddPtr& rdd) {

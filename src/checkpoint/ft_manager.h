@@ -51,6 +51,19 @@ struct CheckpointConfig {
   // frequency of Flint's shuffle-boosted checkpoints (the paper compares the
   // two approaches "using the same checkpointing frequency").
   int sys_frequency_divisor = 20;
+  // Degraded mode: after this many consecutive abandoned checkpoint writes
+  // (each already retried with backoff by the engine) the manager stops
+  // signalling new checkpoints and instead probes the store with a 1-byte
+  // write each round, resuming once a probe or any real write succeeds.
+  // <= 0 disables degraded mode.
+  int degraded_after_failures = 3;
+  // Pending sweep: a marked RDD whose asynchronous writes have made no
+  // progress (no completion and no failure report) for this long is
+  // re-enqueued — its writer likely died with a revoked node — up to
+  // pending_max_retries times, after which the partial checkpoint is
+  // quarantined and the mark dropped.
+  double pending_retry_seconds = 0.5;
+  int pending_max_retries = 2;
 };
 
 class FaultToleranceManager : public EngineObserver {
@@ -78,10 +91,21 @@ class FaultToleranceManager : public EngineObserver {
   // Also used by tests and by the interactive layer for eager persistence.
   void CheckpointRddNow(const RddPtr& rdd);
 
-  // Fires one checkpoint round: marks current frontier RDDs (Flint/fixed) or
-  // snapshots the whole cache (systems-level). The signal thread calls this
-  // every tau; public so tests can drive rounds deterministically.
+  // Fires one checkpoint round: sweeps stalled pending checkpoints, probes
+  // the store when degraded, then marks current frontier RDDs (Flint/fixed)
+  // or snapshots the whole cache (systems-level). The signal thread calls
+  // this every tau; public so tests can drive rounds deterministically.
   void FireCheckpointRound();
+
+  // Re-enqueues writes for pending checkpoints that have stalled (writer died
+  // without reporting success or failure) and quarantines entries that
+  // exhausted pending_max_retries. Runs at the start of every signal round;
+  // public so tests can drive the sweep deterministically.
+  void SweepPendingNow();
+
+  // True while checkpoint signalling is suspended because the DFS keeps
+  // rejecting writes (see CheckpointConfig::degraded_after_failures).
+  bool degraded() const;
 
   struct Stats {
     uint64_t rdds_checkpointed = 0;
@@ -92,6 +116,16 @@ class FaultToleranceManager : public EngineObserver {
     // Signals that aged out before any RDD consumed them (see
     // CheckpointConfig::signal_expiry_factor).
     uint64_t signals_expired = 0;
+    // Checkpoint partition writes abandoned after the engine exhausted its
+    // retry budget.
+    uint64_t writes_failed = 0;
+    // Pending-sweep outcomes: stalled entries re-enqueued / given up on.
+    uint64_t pending_requeued = 0;
+    uint64_t pending_expired = 0;
+    // Signal rounds skipped while degraded (store failing probes).
+    uint64_t signals_suspended = 0;
+    uint64_t degraded_entered = 0;
+    uint64_t degraded_recovered = 0;
   };
   Stats GetStats() const;
 
@@ -100,6 +134,7 @@ class FaultToleranceManager : public EngineObserver {
   void OnRddMaterialized(const RddPtr& rdd) override;
   void OnCheckpointWritten(const RddPtr& rdd, int partition, uint64_t bytes,
                            double write_seconds) override;
+  void OnCheckpointWriteFailed(const RddPtr& rdd, int partition, const Status& status) override;
   void OnNodeWarning(const NodeInfo& node) override;
 
  private:
@@ -107,6 +142,10 @@ class FaultToleranceManager : public EngineObserver {
     RddPtr rdd;
     std::unordered_set<int> remaining;  // partitions not yet durably written
     WallTime started;
+    // Last time any write for this RDD completed or failed; the sweep
+    // re-enqueues entries quiet for longer than pending_retry_seconds.
+    WallTime last_progress;
+    int retries = 0;
   };
 
   void SignalLoop();
@@ -115,6 +154,9 @@ class FaultToleranceManager : public EngineObserver {
   // otherwise partitions are written as tasks finish computing them.
   void MarkRdd(const RddPtr& rdd, bool enqueue_writes);
   void SystemsLevelSnapshot();
+  // 1-byte write through the normal DFS path (fault hooks included); used to
+  // cheaply test whether the store has healed while degraded.
+  bool ProbeStore();
   // Removes ancestors of `rdd` from the frontier set. Caller holds mutex_.
   void PruneAncestorsLocked(const RddPtr& rdd);
   void GarbageCollectAncestors(const RddPtr& rdd);
@@ -140,6 +182,9 @@ class FaultToleranceManager : public EngineObserver {
   bool signal_pending_ = false;
   WallTime signal_fired_at_{};
   double signal_expiry_seconds_ = 0.0;
+  // Degraded mode state (see CheckpointConfig::degraded_after_failures).
+  bool degraded_ = false;
+  int consecutive_write_failures_ = 0;
   WallTime last_shuffle_checkpoint_;
   uint64_t sys_epoch_ = 0;
   Stats stats_;

@@ -1,0 +1,20 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) used to fingerprint checkpoint
+// objects stored in the DFS. The checkpoint layer records a CRC per partition
+// object and in the per-RDD manifest; verified restores compare the two to
+// detect corrupted or torn checkpoints before trusting them.
+
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flint {
+
+// CRC32 of `len` bytes starting at `data`. Chainable: pass a previous result
+// as `seed` to extend the checksum over discontiguous buffers.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -5,7 +5,15 @@
 
 namespace flint {
 
-void Dfs::ChargeWrite(uint64_t bytes) const {
+namespace {
+
+// XOR mask applied to a stored checksum by CorruptMatching. Nonzero so even
+// an unchecksummed object (crc32 == 0) visibly changes.
+constexpr uint64_t kCorruptionMask = 0x5A5A5A5AC3C3C3C3ULL;
+
+}  // namespace
+
+void Dfs::ChargeWrite(uint64_t bytes, double slow_factor) const {
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   if (!model_latency_ || config_.write_bandwidth_bytes_per_s <= 0.0) {
     return;
@@ -13,16 +21,18 @@ void Dfs::ChargeWrite(uint64_t bytes) const {
   // write_bandwidth is effective per-writer throughput in logical bytes,
   // i.e. replication fan-out is already folded in; replication does show up
   // in MonthlyStorageCost.
-  const double seconds = static_cast<double>(bytes) / config_.write_bandwidth_bytes_per_s;
+  const double seconds =
+      slow_factor * static_cast<double>(bytes) / config_.write_bandwidth_bytes_per_s;
   std::this_thread::sleep_for(WallDuration(seconds));
 }
 
-void Dfs::ChargeRead(uint64_t bytes) const {
+void Dfs::ChargeRead(uint64_t bytes, double slow_factor) const {
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   if (!model_latency_ || config_.read_bandwidth_bytes_per_s <= 0.0) {
     return;
   }
-  const double seconds = static_cast<double>(bytes) / config_.read_bandwidth_bytes_per_s;
+  const double seconds =
+      slow_factor * static_cast<double>(bytes) / config_.read_bandwidth_bytes_per_s;
   std::this_thread::sleep_for(WallDuration(seconds));
 }
 
@@ -33,7 +43,15 @@ Status Dfs::Put(const std::string& path, DfsObject object) {
   if (object.data == nullptr && object.size_bytes != 0) {
     return InvalidArgument("null data with nonzero size");
   }
-  ChargeWrite(object.size_bytes);
+  double slow_factor = 1.0;
+  if (DfsFaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    DfsFaultVerdict verdict = hook->OnPut(path);
+    if (!verdict.status.ok()) {
+      return verdict.status;
+    }
+    slow_factor = verdict.slow_factor;
+  }
+  ChargeWrite(object.size_bytes, slow_factor);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = objects_.find(path);
   if (it != objects_.end()) {
@@ -46,6 +64,14 @@ Status Dfs::Put(const std::string& path, DfsObject object) {
 }
 
 Result<DfsObject> Dfs::Get(const std::string& path) const {
+  double slow_factor = 1.0;
+  if (DfsFaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    DfsFaultVerdict verdict = hook->OnGet(path);
+    if (!verdict.status.ok()) {
+      return verdict.status;
+    }
+    slow_factor = verdict.slow_factor;
+  }
   DfsObject obj;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -55,8 +81,17 @@ Result<DfsObject> Dfs::Get(const std::string& path) const {
     }
     obj = it->second;
   }
-  ChargeRead(obj.size_bytes);
+  ChargeRead(obj.size_bytes, slow_factor);
   return obj;
+}
+
+Result<DfsObjectStat> Dfs::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return NotFound("DFS object " + path);
+  }
+  return DfsObjectStat{it->second.size_bytes, it->second.crc32};
 }
 
 bool Dfs::Exists(const std::string& path) const {
@@ -100,6 +135,18 @@ std::vector<std::string> Dfs::List(const std::string& prefix) const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+size_t Dfs::CorruptMatching(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t corrupted = 0;
+  for (auto& [path, obj] : objects_) {
+    if (path.rfind(prefix, 0) == 0) {
+      obj.crc32 ^= kCorruptionMask;
+      ++corrupted;
+    }
+  }
+  return corrupted;
 }
 
 uint64_t Dfs::TotalBytes() const {

@@ -8,6 +8,12 @@
 // (shared_ptr<const void> + size) so the engine can store partition objects
 // without a serialization layer, while raw-byte files are also supported for
 // workload inputs.
+//
+// Real HDFS-on-EBS degrades and fails; an optional DfsFaultHook is consulted
+// before every Put/Get so the fault-injection layer (src/inject) can script
+// failed writes, unreadable objects, unavailability windows, and slow I/O.
+// Each stored object carries a writer-supplied CRC32; injected corruption
+// scrambles the stored checksum, which is how verified readers detect it.
 
 #ifndef SRC_DFS_DFS_H_
 #define SRC_DFS_DFS_H_
@@ -35,10 +41,37 @@ struct DfsConfig {
   double storage_price_gb_month = 0.10;
 };
 
-// One stored object.
+// One stored object. `crc32` is a writer-supplied content checksum (0 when
+// the writer does not checksum); verified readers compare it against the
+// checkpoint manifest to detect corruption and torn writes.
 struct DfsObject {
   std::shared_ptr<const void> data;
   uint64_t size_bytes = 0;
+  uint64_t crc32 = 0;
+};
+
+// Metadata-only view of a stored object (no bandwidth charge).
+struct DfsObjectStat {
+  uint64_t size_bytes = 0;
+  uint64_t crc32 = 0;
+};
+
+// Verdict a fault hook returns before a Put/Get executes. A non-OK status
+// fails the operation with that status (nothing is stored/read and no
+// bandwidth is charged); slow_factor multiplies the modelled transfer time.
+struct DfsFaultVerdict {
+  Status status = Status::Ok();
+  double slow_factor = 1.0;
+};
+
+// Implemented by the fault injector. Consulted synchronously on the thread
+// performing the operation; must be thread-safe and must not call back into
+// the Dfs (cluster-level operations are fine).
+class DfsFaultHook {
+ public:
+  virtual ~DfsFaultHook() = default;
+  virtual DfsFaultVerdict OnPut(const std::string& path) = 0;
+  virtual DfsFaultVerdict OnGet(const std::string& path) = 0;
 };
 
 class Dfs {
@@ -48,10 +81,16 @@ class Dfs {
   const DfsConfig& config() const { return config_; }
 
   // Stores (or overwrites) `path`. Sleeps to model replicated write cost.
+  // May fail with kUnavailable when a fault hook injects a storage failure.
   Status Put(const std::string& path, DfsObject object);
 
-  // Fetches `path`, sleeping to model the read. NotFound if missing.
+  // Fetches `path`, sleeping to model the read. NotFound if missing; may
+  // fail with kUnavailable under injected storage faults.
   Result<DfsObject> Get(const std::string& path) const;
+
+  // Metadata lookup: size + stored checksum, no bandwidth charge and no
+  // fault-hook consultation (models a cheap namenode query).
+  Result<DfsObjectStat> Stat(const std::string& path) const;
 
   bool Exists(const std::string& path) const;
   Status Delete(const std::string& path);
@@ -60,6 +99,11 @@ class Dfs {
   size_t DeletePrefix(const std::string& prefix);
 
   std::vector<std::string> List(const std::string& prefix) const;
+
+  // Fault-injection hook: scrambles the stored checksum of every object whose
+  // path starts with `prefix`, modelling silent bit rot that checksum
+  // verification must catch. Returns the number of objects corrupted.
+  size_t CorruptMatching(const std::string& prefix);
 
   // Current logical bytes stored (before replication).
   uint64_t TotalBytes() const;
@@ -77,9 +121,13 @@ class Dfs {
   // Test hook: disable the modelled sleeps (unit tests shouldn't wait).
   void set_model_latency(bool enabled) { model_latency_ = enabled; }
 
+  // At most one hook; install before running jobs, clear with nullptr. The
+  // hook must outlive every operation it observes.
+  void SetFaultHook(DfsFaultHook* hook) { fault_hook_.store(hook, std::memory_order_release); }
+
  private:
-  void ChargeWrite(uint64_t bytes) const;
-  void ChargeRead(uint64_t bytes) const;
+  void ChargeWrite(uint64_t bytes, double slow_factor) const;
+  void ChargeRead(uint64_t bytes, double slow_factor) const;
 
   DfsConfig config_;
   mutable std::mutex mutex_;
@@ -89,6 +137,7 @@ class Dfs {
   mutable std::atomic<uint64_t> bytes_written_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   bool model_latency_ = true;
+  std::atomic<DfsFaultHook*> fault_hook_{nullptr};
 };
 
 // Helper to wrap a vector<T> as a DfsObject (shares ownership).

@@ -1,0 +1,43 @@
+#include "src/dfs/manifest.h"
+
+#include <utility>
+
+#include "src/common/crc32.h"
+
+namespace flint {
+
+uint64_t ManifestCrc(const CheckpointManifest& manifest) {
+  uint32_t crc = 0;
+  const uint64_t header[2] = {static_cast<uint64_t>(manifest.rdd_id),
+                              manifest.partitions.size()};
+  crc = Crc32(header, sizeof(header), crc);
+  if (!manifest.partitions.empty()) {
+    crc = Crc32(manifest.partitions.data(),
+                manifest.partitions.size() * sizeof(CheckpointPartitionMeta), crc);
+  }
+  return crc;
+}
+
+DfsObject MakeManifestObject(ManifestPtr manifest) {
+  DfsObject obj;
+  obj.size_bytes =
+      sizeof(CheckpointManifest) + manifest->partitions.size() * sizeof(CheckpointPartitionMeta);
+  obj.crc32 = ManifestCrc(*manifest);
+  obj.data = std::shared_ptr<const void>(manifest, manifest.get());
+  return obj;
+}
+
+Result<ManifestPtr> ReadManifest(const Dfs& dfs, const std::string& path,
+                                 const DfsRetryPolicy& policy, DfsRetryStats* stats) {
+  FLINT_ASSIGN_OR_RETURN(DfsObject obj, GetWithRetry(dfs, path, policy, stats));
+  auto manifest = std::static_pointer_cast<const CheckpointManifest>(obj.data);
+  if (manifest == nullptr) {
+    return DataLoss("empty checkpoint manifest at " + path);
+  }
+  if (obj.crc32 != ManifestCrc(*manifest)) {
+    return DataLoss("corrupt checkpoint manifest at " + path);
+  }
+  return ManifestPtr(std::move(manifest));
+}
+
+}  // namespace flint

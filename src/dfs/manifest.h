@@ -1,0 +1,57 @@
+// Per-RDD checkpoint manifest: the commit record of the atomic checkpoint
+// protocol. Partition objects are written first (each carrying its own
+// CRC32); the manifest — partition list, sizes, checksums — is written LAST,
+// so a checkpoint is visible to recovery only once every partition is
+// durably stored and verified. A directory without a manifest is torn and
+// must be treated as nonexistent; a manifest entry that disagrees with the
+// stored object (size or checksum) marks the checkpoint corrupt.
+
+#ifndef SRC_DFS_MANIFEST_H_
+#define SRC_DFS_MANIFEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dfs/dfs.h"
+#include "src/dfs/retry.h"
+
+namespace flint {
+
+struct CheckpointPartitionMeta {
+  uint64_t size_bytes = 0;
+  uint64_t crc32 = 0;
+};
+
+struct CheckpointManifest {
+  int rdd_id = -1;
+  std::vector<CheckpointPartitionMeta> partitions;
+};
+
+using ManifestPtr = std::shared_ptr<const CheckpointManifest>;
+
+// Manifest file name inside a checkpoint directory ("ckpt/rdd_N/").
+inline std::string ManifestPathFor(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "manifest";
+}
+
+// Content checksum binding the manifest to its RDD and entries; stored as the
+// manifest object's crc32 so injected corruption of the stored object is
+// detected on read.
+uint64_t ManifestCrc(const CheckpointManifest& manifest);
+
+// Wraps `manifest` as a checksummed DfsObject ready for Put.
+DfsObject MakeManifestObject(ManifestPtr manifest);
+
+// Reads and verifies the manifest at `path`: NotFound if missing (torn or
+// GC'd checkpoint), kDataLoss if the stored checksum disagrees with the
+// recomputed content checksum (corrupt manifest). Transient read failures
+// are retried per `policy`.
+Result<ManifestPtr> ReadManifest(const Dfs& dfs, const std::string& path,
+                                 const DfsRetryPolicy& policy, DfsRetryStats* stats = nullptr);
+
+}  // namespace flint
+
+#endif  // SRC_DFS_MANIFEST_H_

@@ -1,0 +1,77 @@
+#include "src/dfs/retry.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace flint {
+
+namespace {
+
+bool Retryable(const Status& status) { return status.code() == StatusCode::kUnavailable; }
+
+// Shared attempt loop: `op` returns the status of one attempt.
+Status RetryLoop(const std::string& path, const DfsRetryPolicy& policy,
+                 const std::function<Status()>& op, DfsRetryStats* stats) {
+  Rng jitter(std::hash<std::string>{}(path) ^ policy.jitter_seed);
+  const auto t0 = WallClock::now();
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_seconds;
+  Status last = Status::Ok();
+  int attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++attempts;
+    last = op();
+    if (last.ok() || !Retryable(last)) {
+      break;
+    }
+    if (attempt + 1 >= max_attempts) {
+      break;
+    }
+    double sleep_s = backoff;
+    if (policy.jitter_fraction > 0.0) {
+      sleep_s *= jitter.Uniform(1.0 - policy.jitter_fraction, 1.0 + policy.jitter_fraction);
+    }
+    if (policy.deadline_seconds > 0.0) {
+      const double elapsed = WallDuration(WallClock::now() - t0).count();
+      if (elapsed + sleep_s >= policy.deadline_seconds) {
+        break;  // the next attempt would land past the deadline
+      }
+    }
+    std::this_thread::sleep_for(WallDuration(sleep_s));
+    backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_seconds);
+  }
+  if (stats != nullptr) {
+    stats->attempts = attempts;
+    stats->elapsed_seconds = WallDuration(WallClock::now() - t0).count();
+  }
+  return last;
+}
+
+}  // namespace
+
+Status PutWithRetry(Dfs& dfs, const std::string& path, const DfsObject& object,
+                    const DfsRetryPolicy& policy, DfsRetryStats* stats) {
+  return RetryLoop(path, policy, [&] { return dfs.Put(path, object); }, stats);
+}
+
+Result<DfsObject> GetWithRetry(const Dfs& dfs, const std::string& path,
+                               const DfsRetryPolicy& policy, DfsRetryStats* stats) {
+  Result<DfsObject> result = NotFound("DFS object " + path);
+  Status st = RetryLoop(
+      path, policy,
+      [&] {
+        result = dfs.Get(path);
+        return result.status();
+      },
+      stats);
+  if (!st.ok()) {
+    return st;
+  }
+  return result;
+}
+
+}  // namespace flint

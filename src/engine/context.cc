@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/engine/checkpoint_io.h"
 #include "src/engine/dag_scheduler.h"
 #include "src/engine/lambda_rdd.h"
 #include "src/engine/task_context.h"
@@ -298,14 +299,60 @@ void FlintContext::WaitForLiveNode() {
 
 // --- checkpoint plumbing ---
 
+bool FlintContext::ClaimCheckpointWrite(const std::string& path) {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  return ckpt_inflight_.insert(path).second;
+}
+
+void FlintContext::ReleaseCheckpointWrite(const std::string& path) {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  ckpt_inflight_.erase(path);
+}
+
+bool FlintContext::CheckpointWriteInFlight(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  return ckpt_inflight_.count(path) > 0;
+}
+
 Status FlintContext::WriteCheckpointData(const RddPtr& rdd, int partition, PartitionPtr data) {
   FireProbe(EnginePoint::kCheckpointWrite);
   const std::string path = rdd->CheckpointPath(partition);
+  // Atomic claim: exactly one writer proceeds per path. A loser returns OK —
+  // the holder either lands the write (and notifies) or fails it (and the
+  // FT manager's pending sweep re-enqueues the partition later).
+  if (!ClaimCheckpointWrite(path)) {
+    return Status::Ok();
+  }
+  if (dfs_->Exists(path)) {
+    ReleaseCheckpointWrite(path);
+    return Status::Ok();
+  }
   const auto t0 = WallClock::now();
   DfsObject obj;
   obj.size_bytes = data->SizeBytes();
+  obj.crc32 = PartitionFingerprint(*data, rdd->id(), partition);
   obj.data = std::static_pointer_cast<const void>(data);
-  FLINT_RETURN_IF_ERROR(dfs_->Put(path, std::move(obj)));
+  DfsRetryStats retry_stats;
+  Status st = PutWithRetry(*dfs_, path, obj, config_.checkpoint_retry, &retry_stats);
+  if (retry_stats.attempts > 1) {
+    counters_.write_retries.fetch_add(static_cast<uint64_t>(retry_stats.attempts - 1),
+                                      std::memory_order_relaxed);
+  }
+  if (!st.ok()) {
+    counters_.writes_abandoned.fetch_add(1, std::memory_order_relaxed);
+    ReleaseCheckpointWrite(path);
+    FLINT_WLOG() << "checkpoint write abandoned after " << retry_stats.attempts
+                 << " attempt(s): " << path << ": " << st.ToString();
+    for (EngineObserver* obs : ObserversSnapshot()) {
+      obs->OnCheckpointWriteFailed(rdd, partition, st);
+    }
+    return st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    ckpt_written_[rdd->id()][partition] = CheckpointPartitionMeta{obj.size_bytes, obj.crc32};
+  }
+  ReleaseCheckpointWrite(path);
   const double seconds = WallDuration(WallClock::now() - t0).count();
   counters_.checkpoint_writes.fetch_add(1, std::memory_order_relaxed);
   counters_.checkpoint_bytes.fetch_add(data->SizeBytes(), std::memory_order_relaxed);
@@ -317,14 +364,131 @@ Status FlintContext::WriteCheckpointData(const RddPtr& rdd, int partition, Parti
 
 Status FlintContext::WriteCheckpointNow(const RddPtr& rdd, int partition, TaskContext& tc) {
   const std::string path = rdd->CheckpointPath(partition);
-  if (dfs_->Exists(path)) {
+  // Cheap pre-checks before the expensive materialization; the write itself
+  // is race-free regardless (WriteCheckpointData claims the path), these
+  // just avoid recomputing a partition another writer is already handling.
+  if (dfs_->Exists(path) || CheckpointWriteInFlight(path)) {
     return Status::Ok();
   }
   FLINT_ASSIGN_OR_RETURN(PartitionPtr data, tc.GetPartition(rdd, partition));
-  if (dfs_->Exists(path)) {
-    return Status::Ok();  // a concurrent at-compute write beat us to it
-  }
   return WriteCheckpointData(rdd, partition, std::move(data));
+}
+
+Status FlintContext::CommitCheckpointManifest(const RddPtr& rdd) {
+  const int num_partitions = rdd->num_partitions();
+  auto manifest = std::make_shared<CheckpointManifest>();
+  manifest->rdd_id = rdd->id();
+  manifest->partitions.resize(static_cast<size_t>(num_partitions));
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    auto it = ckpt_written_.find(rdd->id());
+    if (it == ckpt_written_.end() || static_cast<int>(it->second.size()) != num_partitions) {
+      return FailedPrecondition("checkpoint for rdd " + std::to_string(rdd->id()) +
+                                " is incomplete; cannot commit manifest");
+    }
+    for (const auto& [partition, meta] : it->second) {
+      manifest->partitions[static_cast<size_t>(partition)] = meta;
+    }
+  }
+  // Verify-before-commit: every partition object must still be present and
+  // byte-identical (by size + checksum) to what the writer recorded. A
+  // mismatch here means the store corrupted data between write and commit —
+  // the manifest must not bless it.
+  for (int p = 0; p < num_partitions; ++p) {
+    const CheckpointPartitionMeta& meta = manifest->partitions[static_cast<size_t>(p)];
+    auto stat = dfs_->Stat(rdd->CheckpointPath(p));
+    if (!stat.ok()) {
+      return DataLoss("checkpoint partition " + std::to_string(p) + " of rdd " +
+                      std::to_string(rdd->id()) + " vanished before commit: " +
+                      stat.status().ToString());
+    }
+    if (stat->size_bytes != meta.size_bytes || stat->crc32 != meta.crc32) {
+      return DataLoss("checkpoint partition " + std::to_string(p) + " of rdd " +
+                      std::to_string(rdd->id()) + " failed verification before commit");
+    }
+  }
+  DfsRetryStats retry_stats;
+  Status st =
+      PutWithRetry(*dfs_, rdd->ManifestPath(), MakeManifestObject(std::move(manifest)),
+                   config_.checkpoint_retry, &retry_stats);
+  if (retry_stats.attempts > 1) {
+    counters_.write_retries.fetch_add(static_cast<uint64_t>(retry_stats.attempts - 1),
+                                      std::memory_order_relaxed);
+  }
+  if (!st.ok()) {
+    counters_.writes_abandoned.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  ckpt_written_.erase(rdd->id());
+  return Status::Ok();
+}
+
+void FlintContext::QuarantineCheckpoint(const RddPtr& rdd, const std::string& reason) {
+  rdd->ResetCheckpoint();
+  const size_t removed = dfs_->DeletePrefix(rdd->CheckpointDir());
+  counters_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    ckpt_written_.erase(rdd->id());
+  }
+  FLINT_WLOG() << "checkpoint quarantined: rdd " << rdd->id() << " (" << reason << "), "
+               << removed << " object(s) deleted; recovery falls back to lineage";
+}
+
+Result<PartitionPtr> FlintContext::RestoreFromCheckpoint(const RddPtr& rdd, int partition) {
+  auto manifest_r = ReadManifest(*dfs_, rdd->ManifestPath(), config_.checkpoint_retry);
+  if (!manifest_r.ok()) {
+    counters_.restores_fallen_back.fetch_add(1, std::memory_order_relaxed);
+    if (manifest_r.status().code() == StatusCode::kNotFound) {
+      // Torn checkpoint (manifest never landed) or GC'd underneath us: the
+      // checkpoint simply does not exist. Demote quietly; nothing useful to
+      // quarantine.
+      rdd->ResetCheckpoint();
+      FLINT_WLOG() << "checkpoint for rdd " << rdd->id()
+                   << " has no manifest; falling back to lineage";
+    } else {
+      QuarantineCheckpoint(rdd, "manifest unreadable: " + manifest_r.status().ToString());
+    }
+    return manifest_r.status();
+  }
+  const ManifestPtr& manifest = *manifest_r;
+  if (manifest->rdd_id != rdd->id() ||
+      static_cast<int>(manifest->partitions.size()) != rdd->num_partitions() ||
+      partition >= static_cast<int>(manifest->partitions.size())) {
+    counters_.restores_fallen_back.fetch_add(1, std::memory_order_relaxed);
+    QuarantineCheckpoint(rdd, "manifest does not describe this RDD");
+    return DataLoss("checkpoint manifest mismatch for rdd " + std::to_string(rdd->id()));
+  }
+  const CheckpointPartitionMeta& meta = manifest->partitions[static_cast<size_t>(partition)];
+  auto obj_r = GetWithRetry(*dfs_, rdd->CheckpointPath(partition), config_.checkpoint_retry);
+  if (!obj_r.ok()) {
+    counters_.restores_fallen_back.fetch_add(1, std::memory_order_relaxed);
+    if (obj_r.status().code() == StatusCode::kNotFound) {
+      // Clean miss (GC raced the restore): demote and recompute.
+      rdd->ResetCheckpoint();
+      FLINT_WLOG() << "checkpoint partition " << partition << " of rdd " << rdd->id()
+                   << " missing; falling back to lineage";
+    } else {
+      QuarantineCheckpoint(rdd, "partition " + std::to_string(partition) +
+                                    " unreadable: " + obj_r.status().ToString());
+    }
+    return obj_r.status();
+  }
+  const DfsObject& obj = *obj_r;
+  PartitionPtr data = std::static_pointer_cast<const PartitionData>(obj.data);
+  const bool matches_manifest = obj.size_bytes == meta.size_bytes && obj.crc32 == meta.crc32;
+  const bool matches_content =
+      data != nullptr && obj.crc32 == PartitionFingerprint(*data, rdd->id(), partition);
+  if (!matches_manifest || !matches_content) {
+    counters_.restores_fallen_back.fetch_add(1, std::memory_order_relaxed);
+    QuarantineCheckpoint(rdd, "partition " + std::to_string(partition) +
+                                  " failed checksum verification");
+    return DataLoss("corrupt checkpoint partition " + std::to_string(partition) + " of rdd " +
+                    std::to_string(rdd->id()));
+  }
+  counters_.checkpoint_reads.fetch_add(1, std::memory_order_relaxed);
+  return data;
 }
 
 Status FlintContext::EnqueueCheckpointWriteWithData(const RddPtr& rdd, int partition,

@@ -21,6 +21,8 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/dfs/dfs.h"
+#include "src/dfs/manifest.h"
+#include "src/dfs/retry.h"
 #include "src/engine/block_manager.h"
 #include "src/engine/observer.h"
 #include "src/engine/rdd.h"
@@ -40,6 +42,11 @@ struct EngineConfig {
   // pay bytes/bandwidth on top of generation compute.
   double origin_read_bandwidth_bytes_per_s = 48.0 * kMiB;
   bool model_latency = true;
+  // Backoff/deadline applied to every checkpoint Put (partition objects and
+  // manifests) and to verified restore reads. Transient DFS failures retry
+  // inside this budget; exhausting it abandons the write (the FT manager's
+  // degraded-mode trigger) or falls the restore back to lineage.
+  DfsRetryPolicy checkpoint_retry;
 };
 
 // Monotonic counters for experiment reporting. All fields are cumulative
@@ -54,6 +61,11 @@ struct EngineCounters {
   std::atomic<uint64_t> checkpoint_writes{0};
   std::atomic<uint64_t> checkpoint_bytes{0};
   std::atomic<uint64_t> checkpoint_reads{0};
+  // Storage-fault accounting (checkpoint path):
+  std::atomic<uint64_t> write_retries{0};     // checkpoint Put attempts beyond the first
+  std::atomic<uint64_t> writes_abandoned{0};  // checkpoint Puts that exhausted the retry budget
+  std::atomic<uint64_t> restores_fallen_back{0};  // restores demoted to lineage recomputation
+  std::atomic<uint64_t> checkpoints_quarantined{0};  // corrupt/torn checkpoint dirs deleted
   std::atomic<int64_t> compute_nanos{0};
   std::atomic<int64_t> acquisition_wait_nanos{0};  // scheduler stalls with zero live nodes
   std::atomic<uint64_t> stage_rounds{0};  // dispatch rounds across all stage loops
@@ -144,9 +156,35 @@ class FlintContext : public ClusterListener {
 
   // Synchronous variant used on the revocation-warning path.
   Status WriteCheckpointNow(const RddPtr& rdd, int partition, TaskContext& tc);
-  // Writes `data` directly and fires OnCheckpointWritten. Observers treat the
-  // notification idempotently (a racing pair of writers may both notify).
+  // Writes `data` (checksummed, with retry/backoff) and fires
+  // OnCheckpointWritten on success or OnCheckpointWriteFailed once the retry
+  // budget is exhausted. Racing writers of the same partition are serialized
+  // through an in-flight claim: exactly one writer performs the Put, the
+  // rest return OK immediately (so bytes_written and the delta estimate see
+  // each partition once).
   Status WriteCheckpointData(const RddPtr& rdd, int partition, PartitionPtr data);
+
+  // Atomic-commit step: verifies every partition object recorded for `rdd`
+  // against the store (presence, size, checksum) and writes the manifest
+  // last, with retry. Only after this succeeds may the RDD be declared
+  // kSaved. Fails with kFailedPrecondition if not all partitions were
+  // written, kDataLoss if verification finds a mismatch, or the Put error if
+  // the manifest cannot land.
+  Status CommitCheckpointManifest(const RddPtr& rdd);
+
+  // Deletes `rdd`'s checkpoint directory (bad or partial state), drops the
+  // write records, demotes the RDD to kNone, and counts the quarantine. Used
+  // when restore finds corruption or a commit/stalled checkpoint is
+  // abandoned. Safe to call concurrently with restores: readers see clean
+  // NotFound and fall back to lineage.
+  void QuarantineCheckpoint(const RddPtr& rdd, const std::string& reason);
+
+  // Verified restore of one partition from a kSaved checkpoint: manifest
+  // lookup, checksum/size validation, retry on transient read failures. On
+  // any validation failure the checkpoint is demoted (and quarantined if
+  // corrupt) and an error returns so the caller recomputes from lineage;
+  // restores_fallen_back counts those demotions.
+  Result<PartitionPtr> RestoreFromCheckpoint(const RddPtr& rdd, int partition);
 
   // --- event plumbing (called from TaskContext / scheduler) ---
   void NotifyPartitionComputed(const RddPtr& rdd, int partition, double seconds);
@@ -171,6 +209,11 @@ class FlintContext : public ClusterListener {
   friend class DagScheduler;
 
   std::vector<EngineObserver*> ObserversSnapshot() const;
+
+  // In-flight claim for one checkpoint path; at most one writer holds it.
+  bool ClaimCheckpointWrite(const std::string& path);
+  void ReleaseCheckpointWrite(const std::string& path);
+  bool CheckpointWriteInFlight(const std::string& path) const;
 
   ClusterManager* cluster_;
   Dfs* dfs_;
@@ -203,6 +246,13 @@ class FlintContext : public ClusterListener {
   std::unique_ptr<DagScheduler> scheduler_;
   std::atomic<int> round_robin_{0};
   std::atomic<EngineProbe*> probe_{nullptr};
+
+  // Checkpoint write tracking: in-flight path claims (prevents double
+  // writes) and the per-RDD metadata of durably written partitions, consumed
+  // by CommitCheckpointManifest.
+  mutable std::mutex ckpt_mutex_;
+  std::unordered_set<std::string> ckpt_inflight_;
+  std::unordered_map<int, std::unordered_map<int, CheckpointPartitionMeta>> ckpt_written_;
 };
 
 }  // namespace flint

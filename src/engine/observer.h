@@ -20,8 +20,10 @@ enum class EnginePoint {
   kShuffleMapTaskRun,         // executor: a shuffle map task started
   kShuffleMapTaskDone,        // executor: a map output was registered
   kCheckpointWrite,           // a checkpoint write is about to reach the DFS
+  kDfsPut,                    // storage: a Put is about to execute (via DfsFaultHook)
+  kDfsGet,                    // storage: a Get is about to execute (via DfsFaultHook)
 };
-inline constexpr size_t kEnginePointCount = 5;
+inline constexpr size_t kEnginePointCount = 7;
 
 // Implemented by the fault injector. May be called concurrently from the
 // scheduler, executor, and checkpoint threads; must be thread-safe and must
@@ -54,6 +56,14 @@ class EngineObserver {
     (void)partition;
     (void)bytes;
     (void)write_seconds;
+  }
+  // A checkpoint write for (rdd, partition) exhausted its retry budget and
+  // was abandoned. The fault-tolerance manager uses a run of these to enter
+  // degraded mode instead of wedging on a dead store.
+  virtual void OnCheckpointWriteFailed(const RddPtr& rdd, int partition, const Status& status) {
+    (void)rdd;
+    (void)partition;
+    (void)status;
   }
   virtual void OnNodeAdded(const NodeInfo& node) { (void)node; }
   virtual void OnNodeWarning(const NodeInfo& node) { (void)node; }

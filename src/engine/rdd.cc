@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/dfs/manifest.h"
 #include "src/engine/context.h"
 
 namespace flint {
@@ -34,11 +35,15 @@ void Rdd::SetCheckpointSaved() {
   state_.store(CheckpointState::kSaved, std::memory_order_release);
 }
 
+void Rdd::ResetCheckpoint() { state_.store(CheckpointState::kNone, std::memory_order_release); }
+
 std::string Rdd::CheckpointDir() const { return "ckpt/rdd_" + std::to_string(id_) + "/"; }
 
 std::string Rdd::CheckpointPath(int partition) const {
   return CheckpointDir() + "part_" + std::to_string(partition);
 }
+
+std::string Rdd::ManifestPath() const { return ManifestPathFor(CheckpointDir()); }
 
 namespace {
 

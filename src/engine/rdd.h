@@ -44,7 +44,10 @@ struct Dependency {
 };
 
 // Checkpoint lifecycle: kNone -> kMarked (FT manager decided to checkpoint)
-// -> kSaved (every partition durably in the DFS; lineage truncated here).
+// -> kSaved (every partition durably in the DFS with a committed manifest;
+// lineage truncated here). A verified restore that finds the checkpoint
+// missing or corrupt demotes back to kNone (ResetCheckpoint) and recovery
+// falls back to lineage recomputation.
 enum class CheckpointState { kNone = 0, kMarked = 1, kSaved = 2 };
 
 class Rdd : public std::enable_shared_from_this<Rdd> {
@@ -78,10 +81,17 @@ class Rdd : public std::enable_shared_from_this<Rdd> {
   CheckpointState checkpoint_state() const { return state_.load(std::memory_order_acquire); }
   // kNone -> kMarked. Returns false if already marked/saved.
   bool MarkForCheckpoint();
-  // kMarked -> kSaved (all partitions written).
+  // kMarked -> kSaved. Must only be called once the manifest has landed in
+  // the DFS: kSaved is the signal recovery trusts.
   void SetCheckpointSaved();
+  // Any state -> kNone: the checkpoint proved unusable (torn, corrupt, or
+  // GC'd mid-restore) or its writes were abandoned; the RDD may be re-marked
+  // later by the fault-tolerance manager.
+  void ResetCheckpoint();
   std::string CheckpointDir() const;
   std::string CheckpointPath(int partition) const;
+  // Commit record written last; see src/dfs/manifest.h.
+  std::string ManifestPath() const;
 
  private:
   FlintContext* ctx_;

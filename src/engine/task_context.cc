@@ -24,19 +24,19 @@ Result<PartitionPtr> TaskContext::GetPartition(const RddPtr& rdd, int partition)
   }
   counters.cache_misses.fetch_add(1, std::memory_order_relaxed);
 
-  // 2. Saved checkpoint in the DFS.
+  // 2. Saved checkpoint in the DFS. The restore is verified (manifest +
+  // per-partition checksum); a missing or corrupt checkpoint demotes the RDD
+  // back to kNone inside RestoreFromCheckpoint and we fall through to
+  // lineage recomputation below.
   if (rdd->checkpoint_state() == CheckpointState::kSaved) {
-    auto obj = ctx_->dfs().Get(rdd->CheckpointPath(partition));
-    if (obj.ok()) {
-      counters.checkpoint_reads.fetch_add(1, std::memory_order_relaxed);
-      PartitionPtr data = std::static_pointer_cast<const PartitionData>(obj.value().data);
+    auto restored = ctx_->RestoreFromCheckpoint(rdd, partition);
+    if (restored.ok()) {
+      PartitionPtr data = std::move(restored).value();
       if (rdd->should_cache()) {
         ctx_->StoreBlock(key, node_id(), data);
       }
       return data;
     }
-    // Checkpoint garbage-collected or missing: fall through to recompute.
-    FLINT_WLOG() << "checkpoint read miss for rdd " << rdd->id() << " part " << partition;
   }
 
   // 3. Recompute from lineage.

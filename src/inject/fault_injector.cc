@@ -10,12 +10,23 @@ namespace {
 
 size_t PointIndex(EnginePoint point) { return static_cast<size_t>(point); }
 
+bool MatchesPrefix(const std::string& path, const std::string& prefix) {
+  return prefix.empty() || path.compare(0, prefix.size(), prefix) == 0;
+}
+
 }  // namespace
 
-FaultInjector::FaultInjector(ClusterManager* cluster, FaultPlan plan)
-    : cluster_(cluster), plan_(std::move(plan)), fired_(plan_.events.size(), false) {}
+FaultInjector::FaultInjector(ClusterManager* cluster, FaultPlan plan, Dfs* dfs)
+    : cluster_(cluster), plan_(std::move(plan)), dfs_(dfs), fired_(plan_.events.size(), false) {
+  if (dfs_ != nullptr) {
+    dfs_->SetFaultHook(this);
+  }
+}
 
 FaultInjector::~FaultInjector() {
+  if (dfs_ != nullptr) {
+    dfs_->SetFaultHook(nullptr);
+  }
   // Replacement timers capture `this`; settle them before members go away.
   timers_.Drain();
 }
@@ -73,6 +84,54 @@ void FaultInjector::Fire(const FaultEvent& event) {
                           event.replacement_executor_threads);
       }
       return;
+    case FaultActionKind::kFailWrites: {
+      FLINT_ILOG() << "fault injection: failing next " << event.count << " write(s) matching '"
+                   << event.path_prefix << "'";
+      std::lock_guard<std::mutex> lock(mutex_);
+      write_fails_.push_back(PrefixBudget{event.path_prefix, event.count});
+      return;
+    }
+    case FaultActionKind::kFailReads: {
+      FLINT_ILOG() << "fault injection: failing next " << event.count << " read(s) matching '"
+                   << event.path_prefix << "'";
+      std::lock_guard<std::mutex> lock(mutex_);
+      read_fails_.push_back(PrefixBudget{event.path_prefix, event.count});
+      return;
+    }
+    case FaultActionKind::kCorruptObject: {
+      size_t corrupted = 0;
+      if (dfs_ != nullptr) {
+        corrupted = dfs_->CorruptMatching(event.path_prefix);
+      }
+      FLINT_ILOG() << "fault injection: corrupted " << corrupted << " object(s) matching '"
+                   << event.path_prefix << "'";
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.objects_corrupted += corrupted;
+      return;
+    }
+    case FaultActionKind::kDfsOutage: {
+      FLINT_ILOG() << "fault injection: DFS outage for " << event.duration_seconds
+                   << "s on paths matching '" << event.path_prefix << "'";
+      std::lock_guard<std::mutex> lock(mutex_);
+      outages_.push_back(
+          FaultWindow{event.path_prefix,
+                      WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                             WallDuration(event.duration_seconds)),
+                      1.0});
+      return;
+    }
+    case FaultActionKind::kDfsSlow: {
+      FLINT_ILOG() << "fault injection: DFS " << event.slow_factor << "x slowdown for "
+                   << event.duration_seconds << "s on paths matching '" << event.path_prefix
+                   << "'";
+      std::lock_guard<std::mutex> lock(mutex_);
+      slowdowns_.push_back(
+          FaultWindow{event.path_prefix,
+                      WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                             WallDuration(event.duration_seconds)),
+                      event.slow_factor});
+      return;
+    }
   }
   std::sort(victims.begin(), victims.end());
   if (!victims.empty()) {
@@ -94,6 +153,60 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
     });
   }
+}
+
+DfsFaultVerdict FaultInjector::OnPut(const std::string& path) {
+  // Probe first: an event armed at hit N must affect operation N itself
+  // ("fail the very first checkpoint write" needs no warm-up op).
+  AtPoint(EnginePoint::kDfsPut);
+  return Evaluate(path, /*is_write=*/true);
+}
+
+DfsFaultVerdict FaultInjector::OnGet(const std::string& path) {
+  AtPoint(EnginePoint::kDfsGet);
+  return Evaluate(path, /*is_write=*/false);
+}
+
+DfsFaultVerdict FaultInjector::Evaluate(const std::string& path, bool is_write) {
+  const WallTime now = WallClock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultWindow& outage : outages_) {
+    if (now < outage.until && MatchesPrefix(path, outage.prefix)) {
+      if (is_write) {
+        ++stats_.writes_failed_injected;
+      } else {
+        ++stats_.reads_failed_injected;
+      }
+      DfsFaultVerdict verdict;
+      verdict.status = Unavailable("injected DFS outage: " + path);
+      return verdict;
+    }
+  }
+  std::vector<PrefixBudget>& budgets = is_write ? write_fails_ : read_fails_;
+  for (PrefixBudget& budget : budgets) {
+    if (budget.remaining > 0 && MatchesPrefix(path, budget.prefix)) {
+      --budget.remaining;
+      if (is_write) {
+        ++stats_.writes_failed_injected;
+      } else {
+        ++stats_.reads_failed_injected;
+      }
+      DfsFaultVerdict verdict;
+      verdict.status =
+          Unavailable(std::string("injected ") + (is_write ? "write" : "read") + " failure: " + path);
+      return verdict;
+    }
+  }
+  DfsFaultVerdict verdict;
+  for (const FaultWindow& slow : slowdowns_) {
+    if (now < slow.until && MatchesPrefix(path, slow.prefix)) {
+      verdict.slow_factor *= slow.slow_factor;
+    }
+  }
+  if (verdict.slow_factor != 1.0) {
+    ++stats_.ops_slowed;
+  }
+  return verdict;
 }
 
 FaultInjector::Stats FaultInjector::GetStats() const {

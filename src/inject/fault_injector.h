@@ -5,6 +5,14 @@
 // the engine, node manager, and fault-tolerance manager observe the loss
 // exactly as they would from a real market revocation, at a deterministic
 // point in the job's execution.
+//
+// When constructed with a Dfs, the injector also implements DfsFaultHook:
+// it installs itself via Dfs::SetFaultHook, counts every Put/Get as a
+// kDfsPut/kDfsGet probe arrival (so plans can trigger on "the Nth
+// checkpoint write"), and enforces armed storage faults — failed writes or
+// reads by prefix, outage windows, slow-I/O windows, and checksum
+// corruption of stored objects. An event armed at hit N affects operation
+// N itself: AtPoint runs before the verdict is evaluated.
 
 #ifndef SRC_INJECT_FAULT_INJECTOR_H_
 #define SRC_INJECT_FAULT_INJECTOR_H_
@@ -12,18 +20,24 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_manager.h"
 #include "src/cluster/timer_queue.h"
+#include "src/common/units.h"
+#include "src/dfs/dfs.h"
 #include "src/engine/observer.h"
 #include "src/inject/fault_plan.h"
 
 namespace flint {
 
-class FaultInjector : public EngineProbe {
+class FaultInjector : public EngineProbe, public DfsFaultHook {
  public:
-  FaultInjector(ClusterManager* cluster, FaultPlan plan);
+  // `dfs` may be null when the plan contains no storage actions; when set,
+  // the injector installs itself as the store's fault hook and uninstalls
+  // on destruction.
+  FaultInjector(ClusterManager* cluster, FaultPlan plan, Dfs* dfs = nullptr);
   ~FaultInjector() override;
 
   FaultInjector(const FaultInjector&) = delete;
@@ -32,11 +46,21 @@ class FaultInjector : public EngineProbe {
   // EngineProbe. Thread-safe; events execute outside the internal lock.
   void AtPoint(EnginePoint point) override;
 
+  // DfsFaultHook. Counts the operation as a kDfsPut/kDfsGet arrival, then
+  // evaluates armed storage faults against `path`.
+  DfsFaultVerdict OnPut(const std::string& path) override;
+  DfsFaultVerdict OnGet(const std::string& path) override;
+
   struct Stats {
     uint64_t points_observed = 0;
     uint64_t events_fired = 0;
     uint64_t nodes_revoked = 0;
     uint64_t replacements_scheduled = 0;
+    // Storage faults enforced.
+    uint64_t writes_failed_injected = 0;
+    uint64_t reads_failed_injected = 0;
+    uint64_t objects_corrupted = 0;
+    uint64_t ops_slowed = 0;
   };
   Stats GetStats() const;
   int HitCount(EnginePoint point) const;
@@ -46,15 +70,34 @@ class FaultInjector : public EngineProbe {
   void Drain();
 
  private:
+  // Remaining-budget fault ("fail the next N ops matching prefix").
+  struct PrefixBudget {
+    std::string prefix;
+    int remaining = 0;
+  };
+  // Time-bounded fault window (outage or slow I/O).
+  struct FaultWindow {
+    std::string prefix;
+    WallTime until{};
+    double slow_factor = 1.0;  // kDfsSlow only
+  };
+
   void Fire(const FaultEvent& event);
+  DfsFaultVerdict Evaluate(const std::string& path, bool is_write);
 
   ClusterManager* cluster_;
   FaultPlan plan_;
+  Dfs* dfs_;
 
   mutable std::mutex mutex_;
   std::array<int, kEnginePointCount> hits_{};
   std::vector<bool> fired_;
   Stats stats_;
+  // Armed storage faults; evaluated under mutex_ by OnPut/OnGet.
+  std::vector<PrefixBudget> write_fails_;
+  std::vector<PrefixBudget> read_fails_;
+  std::vector<FaultWindow> outages_;
+  std::vector<FaultWindow> slowdowns_;
 
   TimerQueue timers_;  // delayed replacement arrivals
 };

@@ -27,4 +27,49 @@ FaultEvent RevokeCountAt(EnginePoint at, int after_hits, int count, bool with_wa
   return event;
 }
 
+namespace {
+
+FaultEvent StorageEvent(EnginePoint at, int after_hits, FaultActionKind action,
+                        std::string prefix) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = action;
+  event.path_prefix = std::move(prefix);
+  return event;
+}
+
+}  // namespace
+
+FaultEvent FailWritesAt(EnginePoint at, int after_hits, std::string prefix, int count) {
+  FaultEvent event = StorageEvent(at, after_hits, FaultActionKind::kFailWrites, std::move(prefix));
+  event.count = count;
+  return event;
+}
+
+FaultEvent FailReadsAt(EnginePoint at, int after_hits, std::string prefix, int count) {
+  FaultEvent event = StorageEvent(at, after_hits, FaultActionKind::kFailReads, std::move(prefix));
+  event.count = count;
+  return event;
+}
+
+FaultEvent CorruptObjectAt(EnginePoint at, int after_hits, std::string prefix) {
+  return StorageEvent(at, after_hits, FaultActionKind::kCorruptObject, std::move(prefix));
+}
+
+FaultEvent DfsOutageAt(EnginePoint at, int after_hits, std::string prefix,
+                       double duration_seconds) {
+  FaultEvent event = StorageEvent(at, after_hits, FaultActionKind::kDfsOutage, std::move(prefix));
+  event.duration_seconds = duration_seconds;
+  return event;
+}
+
+FaultEvent DfsSlowAt(EnginePoint at, int after_hits, std::string prefix, double duration_seconds,
+                     double slow_factor) {
+  FaultEvent event = StorageEvent(at, after_hits, FaultActionKind::kDfsSlow, std::move(prefix));
+  event.duration_seconds = duration_seconds;
+  event.slow_factor = slow_factor;
+  return event;
+}
+
 }  // namespace flint

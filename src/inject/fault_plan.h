@@ -6,7 +6,9 @@
 // measures (Sec 5.3, Fig 7/8): revoke the whole cluster, revoke k of m
 // nodes, revoke a whole market, with or without the provider warning, with
 // replacements arriving after a configurable delay (the restoration policy's
-// acquisition delay) or never.
+// acquisition delay) or never — plus storage faults (failed writes/reads,
+// silent corruption, outage windows, slow I/O) so storm tests can compose
+// node and DFS failures in one deterministic script.
 //
 // Plans are plain data so tests can table-drive storm scenarios; the
 // FaultInjector (fault_injector.h) executes them.
@@ -15,6 +17,7 @@
 #define SRC_INJECT_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_manager.h"
@@ -28,6 +31,13 @@ enum class FaultActionKind {
   kRevokeCount,   // revoke up to `count` live nodes (lowest node ids first)
   kRevokeMarket,  // revoke every live node acquired from `market`
   kAddNodes,      // add `count` nodes without revoking anything
+  // Storage actions (require a Dfs wired into the FaultInjector):
+  kFailWrites,     // fail the next `count` Puts whose path starts with path_prefix
+  kFailReads,      // fail the next `count` Gets whose path starts with path_prefix
+  kCorruptObject,  // scramble the stored checksum of objects matching path_prefix
+  kDfsOutage,      // all Puts/Gets matching path_prefix fail for duration_seconds
+  kDfsSlow,        // transfers matching path_prefix take slow_factor x longer
+                   // for duration_seconds
 };
 
 struct FaultEvent {
@@ -37,9 +47,14 @@ struct FaultEvent {
   int after_hits = 0;
 
   FaultActionKind action = FaultActionKind::kRevokeAll;
-  int count = 0;             // kRevokeCount / kAddNodes
+  int count = 0;             // kRevokeCount / kAddNodes / kFailWrites / kFailReads
   MarketId market = 0;       // kRevokeMarket victim; market of added nodes
   bool with_warning = false; // deliver the revocation warning first
+
+  // Storage-action parameters. The empty prefix matches every path.
+  std::string path_prefix;
+  double duration_seconds = 0.0;  // kDfsOutage / kDfsSlow window length
+  double slow_factor = 1.0;       // kDfsSlow transfer-time multiplier
 
   // Replacement nodes brought up this many engine seconds after the event
   // fires. Zero replacements models a storm that leaves the cluster empty
@@ -65,6 +80,26 @@ FaultEvent RevokeAllAt(EnginePoint at, int after_hits, bool with_warning, int re
 // per victim joins `delay_seconds` later.
 FaultEvent RevokeCountAt(EnginePoint at, int after_hits, int count, bool with_warning,
                          double delay_seconds);
+
+// Fail the next `count` DFS writes (reads) whose path starts with `prefix`,
+// beginning with the operation that trips the trigger itself when `at` is
+// kDfsPut (kDfsGet).
+FaultEvent FailWritesAt(EnginePoint at, int after_hits, std::string prefix, int count);
+FaultEvent FailReadsAt(EnginePoint at, int after_hits, std::string prefix, int count);
+
+// Scramble the stored checksum of every object matching `prefix` (silent bit
+// rot; verified readers detect it, unverified readers serve bad data).
+FaultEvent CorruptObjectAt(EnginePoint at, int after_hits, std::string prefix);
+
+// Every DFS operation matching `prefix` fails for `duration_seconds` after
+// the trigger (a full store outage when prefix is empty).
+FaultEvent DfsOutageAt(EnginePoint at, int after_hits, std::string prefix,
+                       double duration_seconds);
+
+// Transfers matching `prefix` take `slow_factor` times longer for
+// `duration_seconds` (degraded store, still available).
+FaultEvent DfsSlowAt(EnginePoint at, int after_hits, std::string prefix, double duration_seconds,
+                     double slow_factor);
 
 }  // namespace flint
 

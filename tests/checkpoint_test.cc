@@ -103,7 +103,9 @@ TEST(FtManagerTest, ManualCheckpointSavesAndTruncatesLineage) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ASSERT_EQ(rdd.raw()->checkpoint_state(), CheckpointState::kSaved);
-  EXPECT_EQ(h.dfs().List(rdd.raw()->CheckpointDir()).size(), 4u);
+  // 4 partition objects plus the commit manifest (written last).
+  EXPECT_EQ(h.dfs().List(rdd.raw()->CheckpointDir()).size(), 5u);
+  EXPECT_TRUE(h.dfs().Exists(rdd.raw()->ManifestPath()));
 
   // Kill the whole cluster: recomputation must come from the checkpoint, not
   // the origin (which we can tell because results still match).
@@ -161,7 +163,8 @@ TEST(FtManagerTest, GcDeletesAncestorCheckpoints) {
   // The child checkpoint terminates the lineage; the parent's checkpoint is
   // unreachable and must have been garbage-collected.
   EXPECT_TRUE(h.dfs().List(parent.raw()->CheckpointDir()).empty());
-  EXPECT_EQ(h.dfs().List(child.raw()->CheckpointDir()).size(), 2u);
+  // 2 partition objects plus the commit manifest.
+  EXPECT_EQ(h.dfs().List(child.raw()->CheckpointDir()).size(), 3u);
   EXPECT_GE(ft.GetStats().gc_deleted_rdds, 1u);
 }
 

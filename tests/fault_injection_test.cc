@@ -213,6 +213,66 @@ TEST(FaultInjectionTest, RevokeKofMWithWarningDuringCheckpointWrite) {
   EXPECT_EQ(out->back(), 806);
 }
 
+// Composed storm (ISSUE 2): every node hard-revoked mid-map-stage while the
+// checkpoint store rides out an unavailability window. The node-fault
+// machinery replaces the cluster, the retry layer carries the checkpoint
+// writes across the outage (write_retries), the pending sweep re-enqueues
+// anything whose writer died with its node, and the job result is
+// bit-identical to a fault-free run.
+TEST(FaultInjectionTest, CheckpointSurvivesRevokeAllComposedWithDfsOutage) {
+  std::vector<std::pair<int, int>> reference;
+  {
+    EngineHarness clean;
+    auto counts = ReduceByKey(Parallelize(&clean.ctx(), KeyedRecords(600, 17), 5), 4,
+                              [](int a, int b) { return a + b; });
+    auto out = counts.Collect();
+    ASSERT_TRUE(out.ok());
+    reference = Sorted(*out);
+  }
+
+  EngineHarnessOptions opts;
+  opts.checkpoint_retry.max_attempts = 10;
+  opts.checkpoint_retry.initial_backoff_seconds = 0.01;
+  opts.checkpoint_retry.deadline_seconds = 5.0;
+  EngineHarness h{opts};
+  CheckpointConfig cfg;
+  cfg.policy = CheckpointPolicyKind::kFlint;
+  cfg.mttf_hours = 1.0;
+  cfg.time.seconds_per_model_hour = 0.05;
+  cfg.initial_delta_seconds = 0.001;
+  cfg.pending_retry_seconds = 0.05;
+  cfg.pending_max_retries = 50;
+  FaultToleranceManager ft(&h.ctx(), cfg);
+
+  FaultPlan plan;
+  plan.events.push_back(RevokeAllAt(EnginePoint::kShuffleMapTaskRun, /*after_hits=*/0,
+                                    /*with_warning=*/false, /*replacements=*/4,
+                                    /*delay_seconds=*/0.05));
+  plan.events.push_back(DfsOutageAt(EnginePoint::kCheckpointWrite, /*after_hits=*/0, "ckpt/",
+                                    /*duration_seconds=*/0.04));
+  FaultInjector injector(&h.cluster(), plan, &h.dfs());
+  ProbeGuard guard(&h.ctx(), &injector);
+
+  auto input = Parallelize(&h.ctx(), KeyedRecords(600, 17), 5);
+  input.Cache();
+  ft.CheckpointRddNow(input.raw());  // writes race both the storm and the outage
+  auto counts = ReduceByKey(input, 4, [](int a, int b) { return a + b; });
+  auto out = counts.Collect();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Sorted(*out), reference);
+
+  // The checkpoint itself must also land: rounds drive the pending sweep so
+  // writes whose nodes died get re-enqueued on the replacements.
+  for (int i = 0; i < 600 && input.raw()->checkpoint_state() != CheckpointState::kSaved; ++i) {
+    ft.FireCheckpointRound();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(input.raw()->checkpoint_state(), CheckpointState::kSaved);
+  EXPECT_TRUE(h.dfs().Exists(input.raw()->ManifestPath()));
+  EXPECT_GE(h.ctx().counters().write_retries.load(), 1u);
+  EXPECT_TRUE(injector.AllEventsFired());
+}
+
 // Property-style bound: repeated hard storms across a nested-shuffle job
 // never drive the stage loops into a busy-spin — the total number of
 // dispatch rounds stays far below the convergence budget and the job still

@@ -10,6 +10,7 @@
 
 #include "src/cluster/cluster_manager.h"
 #include "src/dfs/dfs.h"
+#include "src/dfs/retry.h"
 #include "src/engine/context.h"
 #include "src/engine/typed_rdd.h"
 #include "src/trace/price_trace.h"
@@ -25,6 +26,9 @@ struct EngineHarnessOptions {
   EvictionMode eviction = EvictionMode::kDrop;
   // Fast time scale so warnings/acquisitions take milliseconds in tests.
   double seconds_per_model_hour = 0.05;
+  // Retry/backoff applied to checkpoint writes and verified restores; DFS
+  // fault tests shrink the budget so exhaustion paths run in milliseconds.
+  DfsRetryPolicy checkpoint_retry{};
 };
 
 // Owns a full engine-plane stack. Nodes are added synchronously at
@@ -42,6 +46,7 @@ class EngineHarness {
     engine.model_latency = options.model_latency;
     engine.block_defaults.model_latency = options.model_latency;
     engine.block_defaults.eviction = options.eviction;
+    engine.checkpoint_retry = options.checkpoint_retry;
     ctx_ = std::make_unique<FlintContext>(cluster_.get(), dfs_.get(), engine);
     for (int i = 0; i < options.num_nodes; ++i) {
       node_ids_.push_back(cluster_->AddNode(0, options.node_memory, options.executor_threads));

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a TSan pass over the fault-injection suite.
+# Tier-1 verification plus sanitizer passes over the fault suites.
 #
-#   tools/check.sh            # full build + ctest, then TSan storm tests
-#   tools/check.sh --fast     # skip the TSan pass
+#   tools/check.sh            # full build + ctest, then TSan + ASan passes
+#   tools/check.sh --fast     # skip the sanitizer passes
 #
 # The TSan pass rebuilds into build-tsan/ with FLINT_SANITIZE=thread and runs
-# only the storm scenarios (tests/fault_injection_test.cc): they exercise the
-# revocation paths from injector, timer, executor, and scheduler threads at
-# once, which is where data races would live.
+# the storm scenarios (tests/fault_injection_test.cc) plus the DFS storage
+# fault matrix (tests/dfs_fault_test.cc): revocations, retries, degraded-mode
+# probes, and quarantines fire from injector, timer, executor, and scheduler
+# threads at once, which is where data races would live. The ASan pass
+# rebuilds with FLINT_SANITIZE=address and runs the checkpoint + DFS-fault
+# suites, where abandoned writes and quarantined directories could leak.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,7 +25,7 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping TSan pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -30,7 +33,14 @@ echo "== TSan: build (FLINT_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DFLINT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target flint_tests
 
-echo "== TSan: fault-injection storm tests =="
-./build-tsan/tests/flint_tests --gtest_filter='FaultInject*'
+echo "== TSan: fault-injection storm + DFS fault tests =="
+./build-tsan/tests/flint_tests --gtest_filter='FaultInject*:DfsFault*'
+
+echo "== ASan: build (FLINT_SANITIZE=address) =="
+cmake -B build-asan -S . -DFLINT_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}" --target flint_tests
+
+echo "== ASan: checkpoint + DFS fault tests =="
+./build-asan/tests/flint_tests --gtest_filter='FtManagerTest*:CheckpointPolicyMath*:DfsFault*'
 
 echo "== all checks passed =="
