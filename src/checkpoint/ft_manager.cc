@@ -28,7 +28,7 @@ void FaultToleranceManager::Start() {
   if (config_.policy == CheckpointPolicyKind::kNone) {
     return;
   }
-  std::lock_guard<std::mutex> lock(thread_mutex_);
+  MutexLock lock(&thread_mutex_);
   if (running_) {
     return;
   }
@@ -39,35 +39,35 @@ void FaultToleranceManager::Start() {
 
 void FaultToleranceManager::Stop() {
   {
-    std::lock_guard<std::mutex> lock(thread_mutex_);
+    MutexLock lock(&thread_mutex_);
     if (!running_) {
       return;
     }
     stop_requested_ = true;
   }
-  thread_cv_.notify_all();
+  thread_cv_.NotifyAll();
   signal_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(thread_mutex_);
+    MutexLock lock(&thread_mutex_);
     running_ = false;
   }
 }
 
 void FaultToleranceManager::SetMttf(double mttf_hours) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     mttf_hours_ = mttf_hours;
   }
-  thread_cv_.notify_all();  // re-evaluate tau promptly
+  thread_cv_.NotifyAll();  // re-evaluate tau promptly
 }
 
 double FaultToleranceManager::mttf_hours() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return mttf_hours_;
 }
 
 double FaultToleranceManager::CurrentDeltaSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return delta_seconds_;
 }
 
@@ -84,12 +84,16 @@ double FaultToleranceManager::TauSecondsLocked() const {
 }
 
 double FaultToleranceManager::CurrentTauSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return TauSecondsLocked();
 }
 
 void FaultToleranceManager::SignalLoop() {
-  std::unique_lock<std::mutex> lock(thread_mutex_);
+  // Hand-over-hand on thread_mutex_ (dropped around each round); balanced
+  // Lock()/Unlock() on every path for the thread-safety analysis. Holding
+  // thread_mutex_ while CurrentTauSeconds takes mutex_ establishes the
+  // thread_mutex_ -> mutex_ lock order documented in the header.
+  thread_mutex_.Lock();
   bool first_round = true;
   for (;;) {
     double tau = CurrentTauSeconds();
@@ -101,16 +105,20 @@ void FaultToleranceManager::SignalLoop() {
     if (first_round && std::isfinite(tau)) {
       sleep_s = std::min(sleep_s, std::max(0.2, tau / 4.0));
     }
-    const bool stopping = thread_cv_.wait_for(lock, WallDuration(sleep_s),
-                                              [this] { return stop_requested_; });
-    if (stopping) {
+    const WallTime deadline =
+        WallClock::now() + std::chrono::duration_cast<WallClock::duration>(WallDuration(sleep_s));
+    while (!stop_requested_ && WallClock::now() < deadline) {
+      (void)thread_cv_.WaitUntil(thread_mutex_, deadline);
+    }
+    if (stop_requested_) {
+      thread_mutex_.Unlock();
       return;
     }
     if (std::isfinite(tau)) {
       first_round = false;
-      lock.unlock();
+      thread_mutex_.Unlock();
       FireCheckpointRound();
-      lock.lock();
+      thread_mutex_.Lock();
     }
   }
 }
@@ -118,7 +126,7 @@ void FaultToleranceManager::SignalLoop() {
 void FaultToleranceManager::FireCheckpointRound() {
   SweepPendingNow();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.signals_fired;
   }
   // Degraded mode: the store has swallowed the retry budget of several
@@ -126,14 +134,14 @@ void FaultToleranceManager::FireCheckpointRound() {
   // doomed work, so probe cheaply and skip the round until the probe lands.
   bool probe_needed = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     probe_needed = degraded_;
   }
   if (probe_needed) {
     if (ProbeStore()) {
       bool recovered = false;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (degraded_) {
           degraded_ = false;
           consecutive_write_failures_ = 0;
@@ -146,7 +154,7 @@ void FaultToleranceManager::FireCheckpointRound() {
       }
     } else {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         ++stats_.signals_suspended;
       }
       FLINT_ILOG() << "degraded: checkpoint signal suspended (store still failing probes)";
@@ -163,7 +171,7 @@ void FaultToleranceManager::FireCheckpointRound() {
   // finish computing them (Sec 4).
   std::vector<RddPtr> to_checkpoint;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (signal_pending_) {
       // The previous round's signal was never consumed (no RDD was generated
       // all interval). Count it as expired instead of letting it silently
@@ -197,7 +205,7 @@ void FaultToleranceManager::MarkRdd(const RddPtr& rdd, bool enqueue_writes) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PendingCheckpoint pending;
     pending.rdd = rdd;
     for (int p = 0; p < rdd->num_partitions(); ++p) {
@@ -228,13 +236,19 @@ void FaultToleranceManager::SystemsLevelSnapshot() {
   // Persist the entire RDD cache plus per-node executor state (shuffle
   // buffers), modelling a distributed whole-memory snapshot.
   const auto blocks = ctx_->BlockRegistrySnapshot();
-  const uint64_t epoch = ++sys_epoch_;
+  uint64_t epoch = 0;
+  {
+    MutexLock lock(&mutex_);
+    epoch = ++sys_epoch_;
+  }
   for (const auto& [key, node_id] : blocks) {
     auto node = ctx_->GetNodeState(node_id);
     if (node == nullptr || node->revoked.load(std::memory_order_acquire)) {
       continue;
     }
-    node->pool->Submit([this, key, node, epoch] {
+    // Best-effort: a rejected Submit is a node that started draining
+    // mid-snapshot; its blocks are re-covered by the next epoch.
+    (void)node->pool->Submit([this, key, node, epoch] {
       PartitionPtr data = node->blocks->Get(key);
       if (data == nullptr) {
         return;
@@ -254,7 +268,7 @@ void FaultToleranceManager::SystemsLevelSnapshot() {
   if (shuffle_bytes > 0 && !live.empty()) {
     const uint64_t share = shuffle_bytes / live.size();
     for (const auto& node : live) {
-      node->pool->Submit([this, node, share, epoch] {
+      (void)node->pool->Submit([this, node, share, epoch] {
         DfsObject obj;
         obj.size_bytes = share;
         obj.data = std::shared_ptr<const void>(
@@ -299,7 +313,7 @@ void FaultToleranceManager::OnRddCreated(const RddPtr& rdd) {
   }
   bool mark = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (degraded_) {
       // The store is rejecting writes; marking would only queue doomed work.
       // Pending signals stay armed (their expiry handles staleness).
@@ -353,7 +367,7 @@ void FaultToleranceManager::OnRddMaterialized(const RddPtr& rdd) {
       config_.policy == CheckpointPolicyKind::kSystemsLevel) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PruneAncestorsLocked(rdd);
   frontier_[rdd->id()] = rdd;
   if (rdd->deps().empty() && rdd->should_cache()) {
@@ -368,7 +382,7 @@ void FaultToleranceManager::OnCheckpointWritten(const RddPtr& rdd, int partition
   WallTime started{};
   bool recovered = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stats_.partitions_written += 1;
     stats_.bytes_written += bytes;
     // Any successful write proves the store is taking data again.
@@ -409,14 +423,14 @@ void FaultToleranceManager::OnCheckpointWritten(const RddPtr& rdd, int partition
   // stretch accordingly.
   const double measured = WallDuration(WallClock::now() - started).count();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     delta_seconds_ = config_.delta_ewma_alpha * measured +
                      (1.0 - config_.delta_ewma_alpha) * delta_seconds_;
     stats_.rdds_checkpointed += 1;
   }
   completed->SetCheckpointSaved();
   FLINT_ILOG() << "checkpoint saved: rdd " << completed->id() << " (manifest committed)";
-  thread_cv_.notify_all();  // tau may have changed with delta
+  thread_cv_.NotifyAll();  // tau may have changed with delta
   if (config_.gc_enabled) {
     GarbageCollectAncestors(completed);
   }
@@ -427,7 +441,7 @@ void FaultToleranceManager::OnCheckpointWriteFailed(const RddPtr& rdd, int parti
   (void)partition;
   bool entered = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.writes_failed;
     ++consecutive_write_failures_;
     auto it = pending_.find(rdd->id());
@@ -460,7 +474,7 @@ void FaultToleranceManager::SweepPendingNow() {
   std::vector<RddPtr> expired;
   const WallTime now = WallClock::now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       PendingCheckpoint& p = it->second;
       const double quiet_s = WallDuration(now - p.last_progress).count();
@@ -507,7 +521,7 @@ bool FaultToleranceManager::ProbeStore() {
 }
 
 bool FaultToleranceManager::degraded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return degraded_;
 }
 
@@ -538,7 +552,7 @@ void FaultToleranceManager::GarbageCollectAncestors(const RddPtr& rdd) {
     }
   }
   if (deleted > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stats_.gc_deleted_rdds += deleted;
   }
 }
@@ -551,7 +565,7 @@ void FaultToleranceManager::OnNodeWarning(const NodeInfo& node) {
 }
 
 FaultToleranceManager::Stats FaultToleranceManager::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return stats_;
 }
 

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +21,8 @@
 
 #include "src/checkpoint/checkpoint_policy.h"
 #include "src/cluster/time_config.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/engine/context.h"
 #include "src/engine/observer.h"
@@ -157,42 +158,44 @@ class FaultToleranceManager : public EngineObserver {
   // 1-byte write through the normal DFS path (fault hooks included); used to
   // cheaply test whether the store has healed while degraded.
   bool ProbeStore();
-  // Removes ancestors of `rdd` from the frontier set. Caller holds mutex_.
-  void PruneAncestorsLocked(const RddPtr& rdd);
+  // Removes ancestors of `rdd` from the frontier set.
+  void PruneAncestorsLocked(const RddPtr& rdd) REQUIRES(mutex_);
   void GarbageCollectAncestors(const RddPtr& rdd);
-  double TauSecondsLocked() const;
+  double TauSecondsLocked() const REQUIRES_SHARED(mutex_);
 
   FlintContext* ctx_;
   CheckpointConfig config_;
 
-  mutable std::mutex mutex_;
-  double mttf_hours_;
-  double delta_seconds_;
+  // Lock order: thread_mutex_ before mutex_ (SignalLoop holds thread_mutex_
+  // while reading tau). Never acquire thread_mutex_ while holding mutex_.
+  mutable Mutex mutex_{"FaultToleranceManager::mutex_"};
+  double mttf_hours_ GUARDED_BY(mutex_);
+  double delta_seconds_ GUARDED_BY(mutex_);
   // Frontier: materialized RDDs with no materialized descendant.
-  std::unordered_map<int, RddPtr> frontier_;
+  std::unordered_map<int, RddPtr> frontier_ GUARDED_BY(mutex_);
   // Cached source RDDs (no dependencies): the managed service persists them
   // into the DFS on the first signal, bounding origin re-reads after large
   // revocations (the paper's HDFS holds the input dataset durably).
-  std::unordered_map<int, RddPtr> cached_sources_;
-  std::unordered_map<int, PendingCheckpoint> pending_;  // keyed by rdd id
+  std::unordered_map<int, RddPtr> cached_sources_ GUARDED_BY(mutex_);
+  std::unordered_map<int, PendingCheckpoint> pending_ GUARDED_BY(mutex_);  // keyed by rdd id
   // Set by the periodic signal; the next RDD generated at the frontier of
   // its lineage graph is marked for checkpointing (paper Sec 3.1.1). The
   // signal expires signal_expiry_seconds_ after signal_fired_at_ so a quiet
   // interval cannot bank a stale mark for a far-future RDD.
-  bool signal_pending_ = false;
-  WallTime signal_fired_at_{};
-  double signal_expiry_seconds_ = 0.0;
+  bool signal_pending_ GUARDED_BY(mutex_) = false;
+  WallTime signal_fired_at_ GUARDED_BY(mutex_){};
+  double signal_expiry_seconds_ GUARDED_BY(mutex_) = 0.0;
   // Degraded mode state (see CheckpointConfig::degraded_after_failures).
-  bool degraded_ = false;
-  int consecutive_write_failures_ = 0;
-  WallTime last_shuffle_checkpoint_;
-  uint64_t sys_epoch_ = 0;
-  Stats stats_;
+  bool degraded_ GUARDED_BY(mutex_) = false;
+  int consecutive_write_failures_ GUARDED_BY(mutex_) = 0;
+  WallTime last_shuffle_checkpoint_ GUARDED_BY(mutex_);
+  uint64_t sys_epoch_ GUARDED_BY(mutex_) = 0;
+  Stats stats_ GUARDED_BY(mutex_);
 
-  std::mutex thread_mutex_;
-  std::condition_variable thread_cv_;
-  bool running_ = false;
-  bool stop_requested_ = false;
+  Mutex thread_mutex_{"FaultToleranceManager::thread_mutex_"};
+  CondVar thread_cv_;
+  bool running_ GUARDED_BY(thread_mutex_) = false;
+  bool stop_requested_ GUARDED_BY(thread_mutex_) = false;
   std::thread signal_thread_;
 };
 

@@ -11,7 +11,7 @@ ClusterManager::ClusterManager(TimeConfig time_config) : time_config_(time_confi
 ClusterManager::~ClusterManager() = default;
 
 void ClusterManager::SetListener(ClusterListener* listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   assert(live_.empty() && "listener must be set before nodes exist");
   listener_ = listener;
 }
@@ -21,7 +21,7 @@ NodeId ClusterManager::AddNode(MarketId market, uint64_t memory_budget_bytes,
   NodeInfo info;
   ClusterListener* listener = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     info.node_id = next_node_id_++;
     info.market = market;
     info.memory_budget_bytes = memory_budget_bytes;
@@ -40,7 +40,7 @@ NodeId ClusterManager::AddNodeAfterDelay(MarketId market, uint64_t memory_budget
                                          int executor_threads) {
   NodeId reserved;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     reserved = next_node_id_++;
   }
   const double delay_s = time_config_.ToEngineSeconds(time_config_.acquisition_delay);
@@ -49,7 +49,7 @@ NodeId ClusterManager::AddNodeAfterDelay(MarketId market, uint64_t memory_budget
     NodeInfo info;
     ClusterListener* listener = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       info.node_id = reserved;
       info.market = market;
       info.memory_budget_bytes = memory_budget_bytes;
@@ -70,7 +70,7 @@ void ClusterManager::Revoke(const std::vector<NodeId>& nodes, bool with_warning)
     NodeInfo info;
     ClusterListener* listener = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       auto it = live_.find(node);
       if (it == live_.end()) {
         continue;
@@ -93,7 +93,7 @@ void ClusterManager::Revoke(const std::vector<NodeId>& nodes, bool with_warning)
 void ClusterManager::RevokeMarket(MarketId market, bool with_warning) {
   std::vector<NodeId> victims;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [id, info] : live_) {
       if (info.market == market) {
         victims.push_back(id);
@@ -107,7 +107,7 @@ void ClusterManager::FinishRevocation(NodeId node) {
   NodeInfo info;
   ClusterListener* listener = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = live_.find(node);
     if (it == live_.end()) {
       return;
@@ -123,7 +123,7 @@ void ClusterManager::FinishRevocation(NodeId node) {
 }
 
 std::vector<NodeInfo> ClusterManager::LiveNodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<NodeInfo> out;
   out.reserve(live_.size());
   for (const auto& [id, info] : live_) {
@@ -133,12 +133,12 @@ std::vector<NodeInfo> ClusterManager::LiveNodes() const {
 }
 
 size_t ClusterManager::NumLiveNodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return live_.size();
 }
 
 bool ClusterManager::IsLive(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return live_.count(node) > 0;
 }
 

@@ -8,12 +8,13 @@
 #define SRC_CLUSTER_CLUSTER_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cluster/time_config.h"
 #include "src/cluster/timer_queue.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/market/marketplace.h"
 
@@ -84,10 +85,10 @@ class ClusterManager {
   void FinishRevocation(NodeId node);
 
   TimeConfig time_config_;
-  mutable std::mutex mutex_;
-  ClusterListener* listener_ = nullptr;
-  std::unordered_map<NodeId, NodeInfo> live_;
-  NodeId next_node_id_ = 0;
+  mutable Mutex mutex_{"ClusterManager::mutex_"};
+  ClusterListener* listener_ GUARDED_BY(mutex_) = nullptr;
+  std::unordered_map<NodeId, NodeInfo> live_ GUARDED_BY(mutex_);
+  NodeId next_node_id_ GUARDED_BY(mutex_) = 0;
   TimerQueue timers_;
 };
 

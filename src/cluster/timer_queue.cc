@@ -9,10 +9,10 @@ TimerQueue::TimerQueue() : thread_([this] { Loop(); }) {}
 
 TimerQueue::~TimerQueue() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
 }
 
@@ -21,20 +21,20 @@ uint64_t TimerQueue::ScheduleAfter(WallDuration delay, std::function<void()> fn)
       WallClock::now() + std::chrono::duration_cast<WallClock::duration>(delay);
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     id = next_id_++;
     pending_.emplace(std::make_pair(deadline, id), std::move(fn));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return id;
 }
 
 bool TimerQueue::Cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->first.second == id) {
       pending_.erase(it);
-      drained_.notify_all();
+      drained_.NotifyAll();
       return true;
     }
   }
@@ -42,35 +42,41 @@ bool TimerQueue::Cancel(uint64_t id) {
 }
 
 void TimerQueue::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_.wait(lock, [this] { return pending_.empty() && firing_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!(pending_.empty() && firing_ == 0)) {
+    drained_.Wait(mutex_);
+  }
 }
 
 void TimerQueue::Loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Hand-over-hand: the lock is dropped around each callback so callbacks may
+  // schedule/cancel timers. Bare Lock()/Unlock() stays balanced on every path
+  // for the thread-safety analysis.
+  mutex_.Lock();
   for (;;) {
     if (shutdown_) {
+      mutex_.Unlock();
       return;
     }
     if (pending_.empty()) {
-      cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      cv_.Wait(mutex_);
       continue;
     }
     const WallTime next_deadline = pending_.begin()->first.first;
     if (WallClock::now() < next_deadline) {
-      cv_.wait_until(lock, next_deadline);
+      (void)cv_.WaitUntil(mutex_, next_deadline);
       continue;
     }
     auto it = pending_.begin();
     std::function<void()> fn = std::move(it->second);
     pending_.erase(it);
     ++firing_;
-    lock.unlock();
+    mutex_.Unlock();
     fn();
-    lock.lock();
+    mutex_.Lock();
     --firing_;
     if (pending_.empty() && firing_ == 0) {
-      drained_.notify_all();
+      drained_.NotifyAll();
     }
   }
 }

@@ -6,13 +6,13 @@
 #ifndef SRC_CLUSTER_TIMER_QUEUE_H_
 #define SRC_CLUSTER_TIMER_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flint {
@@ -38,14 +38,14 @@ class TimerQueue {
  private:
   void Loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable drained_;
+  Mutex mutex_{"TimerQueue::mutex_"};
+  CondVar cv_;
+  CondVar drained_;
   // Keyed by (deadline, id) for stable ordering of same-deadline events.
-  std::map<std::pair<WallTime, uint64_t>, std::function<void()>> pending_;
-  uint64_t next_id_ = 1;
-  size_t firing_ = 0;
-  bool shutdown_ = false;
+  std::map<std::pair<WallTime, uint64_t>, std::function<void()>> pending_ GUARDED_BY(mutex_);
+  uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  size_t firing_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -1,0 +1,387 @@
+#include "src/common/mutex.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/log.h"
+
+namespace flint {
+
+// Counter access for the stats export; befriended by Mutex so the tracker
+// (anonymous namespace, not nameable in the header) stays decoupled.
+struct MutexCounterAccess {
+  static MutexStat Snapshot(const Mutex& mu) {
+    MutexStat s;
+    s.name = mu.name();
+    s.id = mu.id();
+    s.acquisitions = mu.acquisitions_.load(std::memory_order_relaxed);
+    s.contentions = mu.contentions_.load(std::memory_order_relaxed);
+    s.total_hold_nanos = mu.total_hold_nanos_.load(std::memory_order_relaxed);
+    s.max_hold_nanos = mu.max_hold_nanos_.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+namespace {
+
+// Default for the runtime switch: on in Debug / sanitizer builds (CMake
+// defines FLINT_MUTEX_DEBUG there), off in release.
+#ifdef FLINT_MUTEX_DEBUG
+constexpr bool kMutexDebugDefault = true;
+#else
+constexpr bool kMutexDebugDefault = false;
+#endif
+
+std::atomic<bool> g_mutex_debug{kMutexDebugDefault};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now().time_since_epoch())
+          .count());
+}
+
+// One lock currently held by this thread.
+struct HeldEntry {
+  const Mutex* mu = nullptr;
+  uint64_t id = 0;
+  uint64_t acquired_nanos = 0;
+  bool shared = false;
+};
+
+// Thread-local held-lock stack. Function-local static so it is safe to use
+// from global constructors/destructors.
+std::vector<HeldEntry>& HeldStack() {
+  static thread_local std::vector<HeldEntry> stack;
+  return stack;
+}
+
+std::string DescribeStack(const std::vector<HeldEntry>& stack) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    os << (i > 0 ? ", " : "") << stack[i].mu->name() << (stack[i].shared ? " (shared)" : "");
+  }
+  os << "]";
+  return os.str();
+}
+
+// Process-wide lock-order graph, held-lock registry, and violation log.
+// Internally synchronized by a raw std::mutex so its own locking never
+// re-enters the tracking machinery. Leaky singleton: Mutexes with static
+// storage duration may be destroyed arbitrarily late.
+class LockTracker {
+ public:
+  static LockTracker& Instance() {
+    static LockTracker* tracker = new LockTracker();
+    return *tracker;
+  }
+
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  void OnMutexCreated(Mutex* mu) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.insert(mu);
+  }
+
+  void OnMutexDestroyed(Mutex* mu) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(mu);
+    nodes_.erase(mu->id());
+    for (auto& [id, node] : nodes_) {
+      node.out.erase(mu->id());
+    }
+  }
+
+  // Called with the thread's current held stack, *before* blocking on
+  // `acquiring`. Records held->acquiring edges and reports any edge that
+  // closes a cycle (once per unordered lock pair). With try_only, performs
+  // only the re-entrancy check: a try-lock never blocks, so it cannot
+  // deadlock and must not add ordering edges (which would flag legitimate
+  // try-and-back-off patterns), but re-entrant try_lock on std::shared_mutex
+  // is still UB worth reporting.
+  void CheckAcquire(const Mutex* acquiring, const std::vector<HeldEntry>& held, bool try_only) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Node& acq_node = nodes_[acquiring->id()];
+    acq_node.name = acquiring->name();
+    for (const HeldEntry& h : held) {
+      if (h.id == acquiring->id()) {
+        // Re-entrant acquisition: std::shared_mutex self-deadlocks (or is UB)
+        // here; report it as a one-lock cycle.
+        Report(acquiring->name(), h.mu->name(),
+               "re-entrant acquisition of '" + std::string(acquiring->name()) +
+                   "' on the same thread; held stack " + DescribeStack(held),
+               acquiring->id(), h.id);
+        continue;
+      }
+      if (try_only) {
+        continue;
+      }
+      Node& held_node = nodes_[h.id];
+      held_node.name = h.mu->name();
+      auto edge = held_node.out.find(acquiring->id());
+      if (edge != held_node.out.end()) {
+        continue;  // known-consistent ordering
+      }
+      // Adding held -> acquiring. If acquiring can already reach held, the
+      // new edge closes a cycle: some other thread acquired these locks in
+      // the opposite order.
+      std::vector<uint64_t> path;
+      if (FindPathLocked(acquiring->id(), h.id, &path)) {
+        std::ostringstream os;
+        os << "lock-order cycle: this thread " << std::this_thread::get_id() << " holding "
+           << DescribeStack(held) << " acquires '" << acquiring->name()
+           << "', but the reverse order was already established: ";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          const Node& from = nodes_[path[i]];
+          os << "'" << from.name << "' -> '" << nodes_[path[i + 1]].name << "' (recorded "
+             << from.out.at(path[i + 1]).context << "); ";
+        }
+        Report(acquiring->name(), h.mu->name(), os.str(), acquiring->id(), h.id);
+      }
+      std::ostringstream ctx;
+      ctx << "by thread " << std::this_thread::get_id() << " holding " << DescribeStack(held);
+      held_node.out.emplace(acquiring->id(), EdgeInfo{ctx.str()});
+    }
+  }
+
+  std::vector<LockOrderViolation> Violations() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.clear();
+    violations_.clear();
+    reported_pairs_.clear();
+  }
+
+  std::vector<MutexStat> Stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MutexStat> out;
+    out.reserve(live_.size());
+    for (const Mutex* mu : live_) {
+      out.push_back(MutexCounterAccess::Snapshot(*mu));
+    }
+    std::sort(out.begin(), out.end(), [](const MutexStat& a, const MutexStat& b) {
+      return a.total_hold_nanos > b.total_hold_nanos;
+    });
+    return out;
+  }
+
+ private:
+  struct EdgeInfo {
+    std::string context;  // who recorded held->acquired, and holding what
+  };
+  struct Node {
+    std::string name;
+    std::unordered_map<uint64_t, EdgeInfo> out;
+  };
+
+  LockTracker() = default;
+
+  // DFS: is `to` reachable from `from` in the edge graph? Fills `path` with
+  // the node ids from `from` to `to` inclusive. Graphs here are tiny (one
+  // node per live Mutex that ever nested), so recursion depth is bounded.
+  bool FindPathLocked(uint64_t from, uint64_t to, std::vector<uint64_t>* path) {
+    std::unordered_set<uint64_t> visited;
+    path->clear();
+    path->push_back(from);
+    return DfsLocked(from, to, &visited, path);
+  }
+
+  bool DfsLocked(uint64_t cur, uint64_t to, std::unordered_set<uint64_t>* visited,
+                 std::vector<uint64_t>* path) {
+    if (cur == to) {
+      return true;
+    }
+    if (!visited->insert(cur).second) {
+      return false;
+    }
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) {
+      return false;
+    }
+    for (const auto& [next, info] : it->second.out) {
+      path->push_back(next);
+      if (DfsLocked(next, to, visited, path)) {
+        return true;
+      }
+      path->pop_back();
+    }
+    return false;
+  }
+
+  // Caller holds mu_.
+  void Report(const char* acquired, const char* held, std::string description, uint64_t acq_id,
+              uint64_t held_id) {
+    const auto pair = std::make_pair(std::min(acq_id, held_id), std::max(acq_id, held_id));
+    if (!reported_pairs_.insert(static_cast<uint64_t>(pair.first) << 32 | pair.second).second) {
+      return;  // this lock pair was already reported
+    }
+    LockOrderViolation v;
+    v.acquired = acquired;
+    v.held = held;
+    v.description = std::move(description);
+    FLINT_ELOG() << "POTENTIAL DEADLOCK between '" << v.acquired << "' and '" << v.held
+                 << "': " << v.description;
+    violations_.push_back(std::move(v));
+  }
+
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex mu_;  // raw: must never feed back into lock tracking
+  std::unordered_set<const Mutex*> live_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  std::vector<LockOrderViolation> violations_;
+  std::unordered_set<uint64_t> reported_pairs_;
+};
+
+void PushHeld(const Mutex* mu, uint64_t id, bool shared) {
+  HeldEntry e;
+  e.mu = mu;
+  e.id = id;
+  e.acquired_nanos = NowNanos();
+  e.shared = shared;
+  HeldStack().push_back(e);
+}
+
+// Pops `mu` from the held stack (locks may be released out of order) and
+// returns the hold duration, or 0 if the entry is absent — e.g. debugging was
+// switched on after this lock was acquired.
+uint64_t PopHeld(const Mutex* mu) {
+  std::vector<HeldEntry>& stack = HeldStack();
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].mu == mu) {
+      const uint64_t held_for = NowNanos() - stack[i - 1].acquired_nanos;
+      stack.erase(stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      return held_for;
+    }
+  }
+  return 0;
+}
+
+void UpdateMax(std::atomic<uint64_t>& max_field, uint64_t value) {
+  uint64_t cur = max_field.load(std::memory_order_relaxed);
+  while (value > cur && !max_field.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Mutex::Mutex(const char* name) : name_(name), id_(LockTracker::Instance().NextId()) {
+  LockTracker::Instance().OnMutexCreated(this);
+}
+
+Mutex::~Mutex() { LockTracker::Instance().OnMutexDestroyed(this); }
+
+void Mutex::Lock() {
+  if (!g_mutex_debug.load(std::memory_order_relaxed)) {
+    mu_.lock();
+    return;
+  }
+  if (!HeldStack().empty()) {
+    LockTracker::Instance().CheckAcquire(this, HeldStack(), /*try_only=*/false);
+  }
+  if (!mu_.try_lock()) {
+    contentions_.fetch_add(1, std::memory_order_relaxed);
+    mu_.lock();
+  }
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  PushHeld(this, id_, /*shared=*/false);
+}
+
+void Mutex::Unlock() {
+  if (g_mutex_debug.load(std::memory_order_relaxed)) {
+    const uint64_t held_for = PopHeld(this);
+    if (held_for > 0) {
+      total_hold_nanos_.fetch_add(held_for, std::memory_order_relaxed);
+      UpdateMax(max_hold_nanos_, held_for);
+    }
+  }
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (g_mutex_debug.load(std::memory_order_relaxed) && !HeldStack().empty()) {
+    LockTracker::Instance().CheckAcquire(this, HeldStack(), /*try_only=*/true);
+  }
+  if (!mu_.try_lock()) {
+    return false;
+  }
+  if (g_mutex_debug.load(std::memory_order_relaxed)) {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    PushHeld(this, id_, /*shared=*/false);
+  }
+  return true;
+}
+
+void Mutex::ReaderLock() {
+  if (!g_mutex_debug.load(std::memory_order_relaxed)) {
+    mu_.lock_shared();
+    return;
+  }
+  if (!HeldStack().empty()) {
+    LockTracker::Instance().CheckAcquire(this, HeldStack(), /*try_only=*/false);
+  }
+  if (!mu_.try_lock_shared()) {
+    contentions_.fetch_add(1, std::memory_order_relaxed);
+    mu_.lock_shared();
+  }
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  PushHeld(this, id_, /*shared=*/true);
+}
+
+void Mutex::ReaderUnlock() {
+  if (g_mutex_debug.load(std::memory_order_relaxed)) {
+    const uint64_t held_for = PopHeld(this);
+    if (held_for > 0) {
+      total_hold_nanos_.fetch_add(held_for, std::memory_order_relaxed);
+      UpdateMax(max_hold_nanos_, held_for);
+    }
+  }
+  mu_.unlock_shared();
+}
+
+bool SetMutexDebug(bool enabled) { return g_mutex_debug.exchange(enabled); }
+
+bool MutexDebugEnabled() { return g_mutex_debug.load(std::memory_order_relaxed); }
+
+std::vector<LockOrderViolation> GetLockOrderViolations() {
+  return LockTracker::Instance().Violations();
+}
+
+void ResetLockOrderTrackingForTest() { LockTracker::Instance().Reset(); }
+
+std::vector<MutexStat> GetMutexStats() { return LockTracker::Instance().Stats(); }
+
+std::string FormatMutexStats(size_t max_rows) {
+  std::vector<MutexStat> stats = GetMutexStats();
+  std::ostringstream os;
+  os << "lock                                     acq        cont       hold_ms    max_hold_us\n";
+  size_t rows = 0;
+  for (const MutexStat& s : stats) {
+    if (rows++ >= max_rows) {
+      break;
+    }
+    std::string name = s.name;
+    if (name.size() > 40) {
+      name.resize(40);
+    }
+    os << name << std::string(41 - name.size(), ' ');
+    std::string acq = std::to_string(s.acquisitions);
+    std::string cont = std::to_string(s.contentions);
+    std::string hold = std::to_string(s.total_hold_nanos / 1000000);
+    std::string max_hold = std::to_string(s.max_hold_nanos / 1000);
+    os << acq << std::string(acq.size() < 11 ? 11 - acq.size() : 1, ' ');
+    os << cont << std::string(cont.size() < 11 ? 11 - cont.size() : 1, ' ');
+    os << hold << std::string(hold.size() < 11 ? 11 - hold.size() : 1, ' ');
+    os << max_hold << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace flint

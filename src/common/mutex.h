@@ -1,0 +1,201 @@
+// Annotated mutex for all Flint locking.
+//
+// flint::Mutex wraps std::shared_mutex with the Clang capability annotations
+// from thread_annotations.h, so a clang build with -Wthread-safety proves
+// every GUARDED_BY / REQUIRES contract at compile time. On top of that, when
+// runtime lock debugging is enabled (the default in Debug and sanitizer
+// builds, see FLINT_MUTEX_DEBUG in CMakeLists.txt), every Mutex maintains:
+//
+//   - a per-process lock-order graph: each acquisition made while other locks
+//     are held records held->acquired edges; an acquisition that closes a
+//     cycle (a potential ABBA deadlock) is reported once per lock pair with
+//     both lock names and a summary of both acquisition contexts, without
+//     blocking. TSan only sees interleavings that execute; the order graph
+//     flags the deadlock the moment the *second* ordering is ever used, even
+//     if the two threads never actually interleave.
+//   - per-lock contention and hold-time counters, exported through
+//     GetMutexStats() for dashboards and tests.
+//
+// In release builds with debugging off, Lock()/Unlock() compile down to the
+// bare std::shared_mutex operations plus one relaxed atomic load.
+//
+// Waiting uses flint::CondVar. It deliberately has no predicate overloads:
+// predicates would run inside an unanalyzed lambda, hiding guarded-field
+// reads from -Wthread-safety. Callers write the standard explicit loop
+//
+//   MutexLock lock(&mutex_);
+//   while (!condition_)  // guarded read, visibly under the lock
+//     cv_.Wait(mutex_);
+//
+// which the analysis checks end to end.
+
+#ifndef SRC_COMMON_MUTEX_H_
+#define SRC_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+#include "src/common/units.h"
+
+namespace flint {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  // `name` must outlive the Mutex (string literals only, by convention
+  // "Class::member_"). Named locks are what make lock-order reports and the
+  // stats export readable; see DESIGN.md "Concurrency discipline".
+  explicit Mutex(const char* name);
+  Mutex() : Mutex("unnamed") {}
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE();
+  void Unlock() RELEASE();
+  bool TryLock() TRY_ACQUIRE(true);
+
+  // Shared (reader) side. Readers participate in lock-order tracking exactly
+  // like writers: a shared acquisition can deadlock against a writer just as
+  // an exclusive one can.
+  void ReaderLock() ACQUIRE_SHARED();
+  void ReaderUnlock() RELEASE_SHARED();
+
+  const char* name() const { return name_; }
+  uint64_t id() const { return id_; }
+
+  // BasicLockable interface so flint::CondVar (condition_variable_any) can
+  // release/reacquire through the same tracking. Not for direct use.
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+ private:
+  // Snapshots the counters for GetMutexStats() (defined in mutex.cc).
+  friend struct MutexCounterAccess;
+
+  std::shared_mutex mu_;
+  const char* name_;
+  const uint64_t id_;  // process-unique, never reused
+
+  // Contention/hold-time counters, updated only while lock debugging is on.
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contentions_{0};
+  std::atomic<uint64_t> total_hold_nanos_{0};
+  std::atomic<uint64_t> max_hold_nanos_{0};
+};
+
+// RAII exclusive lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() {
+    if (!released_) {
+      mu_->Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Early release (absl::ReleasableMutexLock-style); the destructor then
+  // does nothing.
+  void Release() RELEASE() {
+    released_ = true;
+    mu_->Unlock();
+  }
+
+ private:
+  Mutex* const mu_;
+  bool released_ = false;
+};
+
+// RAII shared (reader) lock.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(Mutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) { mu_->ReaderLock(); }
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to flint::Mutex. Release/reacquire inside Wait*
+// flows through Mutex::unlock()/lock(), so held-lock tracking stays accurate
+// across waits.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  // Returns cv_status::timeout when the deadline passed without a notify.
+  std::cv_status WaitFor(Mutex& mu, WallDuration timeout) REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+  std::cv_status WaitUntil(Mutex& mu, WallTime deadline) REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// --- lock debugging: runtime switch, reports, and the stats export ---
+
+// Turns the lock-order detector and per-lock counters on/off process-wide.
+// Defaults to on when built with FLINT_MUTEX_DEBUG (Debug / sanitizer
+// builds), off otherwise. Returns the previous value.
+bool SetMutexDebug(bool enabled);
+bool MutexDebugEnabled();
+
+// One detected potential deadlock: acquiring `acquired` while holding `held`
+// closed a cycle in the lock-order graph. Each lock pair is reported once.
+struct LockOrderViolation {
+  std::string acquired;     // name of the lock whose acquisition closed the cycle
+  std::string held;         // name of the already-held lock it cycles with
+  std::string description;  // both acquisition contexts, human-readable
+};
+
+// Violations recorded since process start (or the last reset). Thread-safe.
+std::vector<LockOrderViolation> GetLockOrderViolations();
+
+// Test hook: clears recorded violations AND the accumulated lock-order graph
+// so tests seeding intentional ABBA cycles cannot contaminate later tests.
+void ResetLockOrderTrackingForTest();
+
+// Snapshot of one live Mutex's counters (see Mutex; only meaningful while
+// mutex debugging is enabled).
+struct MutexStat {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t acquisitions = 0;
+  uint64_t contentions = 0;
+  uint64_t total_hold_nanos = 0;
+  uint64_t max_hold_nanos = 0;
+};
+
+// Per-instance counters of every live Mutex, sorted by descending
+// total_hold_nanos. The registry outlives individual locks' usefulness
+// windows; destroyed Mutexes drop out.
+std::vector<MutexStat> GetMutexStats();
+
+// Human-readable table of GetMutexStats() (top `max_rows` rows), for
+// dashboards and FLINT_ILOG dumps.
+std::string FormatMutexStats(size_t max_rows = 20);
+
+}  // namespace flint
+
+#endif  // SRC_COMMON_MUTEX_H_

@@ -32,8 +32,11 @@ enum class StatusCode {
 
 std::string_view StatusCodeName(StatusCode code);
 
-// Value-semantic status: either OK or (code, message).
-class Status {
+// Value-semantic status: either OK or (code, message). [[nodiscard]] at class
+// level: every function returning a Status is fallible, and silently dropping
+// one hides the failure. Intentional drops go through MustSucceed() (fatal on
+// error) or an explicit (void) cast with a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
@@ -78,9 +81,10 @@ inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, s
 inline Status Cancelled(std::string msg) { return Status(StatusCode::kCancelled, std::move(msg)); }
 inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
 
-// Result<T>: either a value or a non-OK Status.
+// Result<T>: either a value or a non-OK Status. [[nodiscard]] for the same
+// reason as Status: discarding one discards both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
@@ -126,6 +130,15 @@ class Result {
  private:
   std::variant<T, Status> value_;
 };
+
+// Explicitly consumes a Status that must be OK; terminates (via assert in
+// debug, log-and-abort semantics are unnecessary for a must-succeed internal
+// invariant) if it is not. Use at call sites where failure is impossible by
+// construction and a dropped return would otherwise be silent.
+inline void MustSucceed(const Status& status) {
+  assert(status.ok() && "MustSucceed: operation failed");
+  (void)status;
+}
 
 // Propagates a non-OK status out of the current function.
 #define FLINT_RETURN_IF_ERROR(expr)        \

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -28,37 +28,41 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
   // Workers drain the remaining queue before exiting, so every task accepted
   // before Close still runs (and pushes its outcome) exactly once.
-  work_available_.notify_all();
+  work_available_.NotifyAll();
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (shutdown_) {
       return false;
     }
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!(queue_.empty() && in_flight_ == 0)) {
+    all_done_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && queue_.empty()) {
+        work_available_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         // shutdown_ is set and nothing left to run.
         return;
@@ -75,10 +79,10 @@ void ThreadPool::WorkerLoop() {
     // thread (a pool destroying itself from its own worker would self-join).
     task = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }
@@ -97,7 +101,9 @@ void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>
   std::atomic<size_t> next{0};
   ThreadPool pool(std::min(num_threads, n));
   for (size_t t = 0; t < pool.num_threads(); ++t) {
-    pool.Submit([&] {
+    // The pool is freshly constructed and nothing calls Close() on it, so
+    // Submit cannot refuse; the (void) marks the drop as intentional.
+    (void)pool.Submit([&] {
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) {

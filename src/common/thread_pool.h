@@ -5,13 +5,14 @@
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace flint {
 
@@ -24,8 +25,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task. Never blocks. Returns false if the pool is closed or
-  // shutting down.
-  bool Submit(std::function<void()> task);
+  // shutting down — callers that cannot tolerate a dropped task must check.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   // Stops accepting new tasks. Tasks already queued or running still finish;
   // Wait() and the destructor behave as before. Used when a node receives a
@@ -40,13 +41,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_{"ThreadPool::mutex_"};
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 // Runs fn(i) for i in [0, n) across `num_threads` workers and waits.

@@ -24,7 +24,7 @@ NodeManager::~NodeManager() {
 }
 
 SimTime NodeManager::Now() const {
-  const double elapsed_s = WallDuration(WallClock::now() - engine_start_).count();
+  const double elapsed_s = WallDuration(WallClock::now() - engine_start_.load()).count();
   return config_.sim_start + ctx_->cluster().time_config().FromEngineSeconds(elapsed_s);
 }
 
@@ -63,12 +63,12 @@ Result<std::vector<MarketId>> NodeManager::InitialMarkets() {
 
 Status NodeManager::Start() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (started_) {
       return FailedPrecondition("node manager already started");
     }
     started_ = true;
-    engine_start_ = WallClock::now();
+    engine_start_.store(WallClock::now());
   }
   FLINT_ASSIGN_OR_RETURN(std::vector<MarketId> markets, InitialMarkets());
   const SimTime now = Now();
@@ -81,7 +81,7 @@ Status NodeManager::Start() {
     const NodeId id = ctx_->cluster().AddNode(lease->market, config_.node_memory_bytes,
                                               config_.executor_threads);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       leases_[id] = LeaseRecord{*lease, true, 0.0};
     }
     if (config_.market_driven_revocations && std::isfinite(lease->revocation)) {
@@ -108,7 +108,7 @@ void NodeManager::UpdateFtMttf() {
   // Aggregate MTTF of the distinct markets currently in use (Eq. 3).
   std::vector<double> mttfs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::unordered_set<MarketId> seen;
     for (const auto& [id, rec] : leases_) {
       if (!rec.open || !seen.insert(rec.lease.market).second) {
@@ -128,7 +128,7 @@ void NodeManager::OnNodeWarning(const NodeInfo& node) {
   // the replacement before the node is even gone.
   MarketId revoked_market = node.market;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (!warned_.insert(node.node_id).second) {
       return;  // replacement already requested for this node
     }
@@ -157,7 +157,7 @@ void NodeManager::ProvisionReplacement(MarketId revoked_market) {
   const SimTime now = Now();
   std::unordered_set<MarketId> exclude;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PruneRevokedLocked(now);
     for (const auto& [market, since] : recently_revoked_) {
       exclude.insert(market);
@@ -176,7 +176,7 @@ void NodeManager::ProvisionReplacement(MarketId revoked_market) {
   const NodeId id = ctx_->cluster().AddNodeAfterDelay(lease->market, config_.node_memory_bytes,
                                                       config_.executor_threads);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     leases_[id] = LeaseRecord{*lease, true, 0.0};
     if (revoked_market != kOnDemandMarket) {
       // When this node joins, only the market it restores is re-admitted.
@@ -198,7 +198,7 @@ double NodeManager::CloseLeaseCost(LeaseRecord& rec, SimTime end) {
 void NodeManager::OnNodeRevoked(const NodeInfo& node) {
   bool need_replacement = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = leases_.find(node.node_id);
     if (it != leases_.end() && it->second.open) {
       closed_cost_ += CloseLeaseCost(it->second, Now());
@@ -215,7 +215,7 @@ void NodeManager::OnNodeRevoked(const NodeInfo& node) {
 void NodeManager::OnNodeAdded(const NodeInfo& node) {
   // A replacement joining restores exactly the market it was provisioned
   // for — a storm elsewhere must not re-admit every excluded market at once.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = replacement_for_.find(node.node_id);
   if (it != replacement_for_.end()) {
     recently_revoked_.erase(it->second);
@@ -225,7 +225,7 @@ void NodeManager::OnNodeAdded(const NodeInfo& node) {
 }
 
 double NodeManager::TotalCost() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   double total = closed_cost_;
   const SimTime now = Now();
   for (const auto& [id, rec] : leases_) {
@@ -237,7 +237,7 @@ double NodeManager::TotalCost() const {
 }
 
 double NodeManager::OnDemandEquivalentCost() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   // On-demand bills whole hours per server, like the spot side.
   double cost = 0.0;
   const SimTime now = Now();
@@ -250,7 +250,7 @@ double NodeManager::OnDemandEquivalentCost() const {
 }
 
 std::vector<MarketId> NodeManager::ExcludedMarkets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<MarketId> out;
   out.reserve(recently_revoked_.size());
   for (const auto& [market, since] : recently_revoked_) {
@@ -261,7 +261,7 @@ std::vector<MarketId> NodeManager::ExcludedMarkets() const {
 }
 
 std::vector<MarketId> NodeManager::ActiveMarkets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::unordered_set<MarketId> seen;
   std::vector<MarketId> out;
   for (const auto& [id, rec] : leases_) {

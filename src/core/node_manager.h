@@ -12,14 +12,16 @@
 #ifndef SRC_CORE_NODE_MANAGER_H_
 #define SRC_CORE_NODE_MANAGER_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/checkpoint/ft_manager.h"
 #include "src/cluster/timer_queue.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/context.h"
 #include "src/engine/observer.h"
 #include "src/market/marketplace.h"
@@ -92,10 +94,11 @@ class NodeManager : public EngineObserver {
   // delay. Falls back to on-demand if the market refuses.
   void ProvisionReplacement(MarketId preferred);
   void UpdateFtMttf();
-  // Drops exclusion entries older than the cooldown. Caller holds mutex_.
-  void PruneRevokedLocked(SimTime now);
+  // Drops exclusion entries older than the cooldown.
+  void PruneRevokedLocked(SimTime now) REQUIRES(mutex_);
   void ScheduleMarketRevocation(NodeId node, SimTime revocation_time);
-  double CloseLeaseCost(LeaseRecord& rec, SimTime end);
+  // Mutates a LeaseRecord living inside leases_.
+  double CloseLeaseCost(LeaseRecord& rec, SimTime end) REQUIRES(mutex_);
 
   FlintContext* ctx_;
   Marketplace* marketplace_;
@@ -103,18 +106,20 @@ class NodeManager : public EngineObserver {
   NodeManagerConfig config_;
   ServerSelector selector_;
 
-  mutable std::mutex mutex_;
-  WallTime engine_start_;
-  bool started_ = false;
-  std::unordered_map<NodeId, LeaseRecord> leases_;
-  std::unordered_set<NodeId> warned_;  // replacement already requested
+  mutable Mutex mutex_{"NodeManager::mutex_"};
+  // Atomic, not mutex_-guarded: Now() is called while mutex_ is already held
+  // (cost accounting) as well as lock-free from the timer thread.
+  std::atomic<WallTime> engine_start_;
+  bool started_ GUARDED_BY(mutex_) = false;
+  std::unordered_map<NodeId, LeaseRecord> leases_ GUARDED_BY(mutex_);
+  std::unordered_set<NodeId> warned_ GUARDED_BY(mutex_);  // replacement already requested
   // Markets excluded from restoration, keyed by when the exclusion started.
   // An entry clears when that market's replacement lands (replacement_for_)
   // or lazily once the configured cooldown elapses.
-  std::unordered_map<MarketId, SimTime> recently_revoked_;
+  std::unordered_map<MarketId, SimTime> recently_revoked_ GUARDED_BY(mutex_);
   // Pending replacement node -> the market whose revocation it restores.
-  std::unordered_map<NodeId, MarketId> replacement_for_;
-  double closed_cost_ = 0.0;
+  std::unordered_map<NodeId, MarketId> replacement_for_ GUARDED_BY(mutex_);
+  double closed_cost_ GUARDED_BY(mutex_) = 0.0;
 
   TimerQueue timers_;
 };

@@ -52,7 +52,7 @@ Status Dfs::Put(const std::string& path, DfsObject object) {
     slow_factor = verdict.slow_factor;
   }
   ChargeWrite(object.size_bytes, slow_factor);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = objects_.find(path);
   if (it != objects_.end()) {
     total_bytes_ -= it->second.size_bytes;
@@ -74,7 +74,7 @@ Result<DfsObject> Dfs::Get(const std::string& path) const {
   }
   DfsObject obj;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ReaderMutexLock lock(&mutex_);
     auto it = objects_.find(path);
     if (it == objects_.end()) {
       return NotFound("DFS object " + path);
@@ -86,7 +86,7 @@ Result<DfsObject> Dfs::Get(const std::string& path) const {
 }
 
 Result<DfsObjectStat> Dfs::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = objects_.find(path);
   if (it == objects_.end()) {
     return NotFound("DFS object " + path);
@@ -95,12 +95,12 @@ Result<DfsObjectStat> Dfs::Stat(const std::string& path) const {
 }
 
 bool Dfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return objects_.count(path) > 0;
 }
 
 Status Dfs::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = objects_.find(path);
   if (it == objects_.end()) {
     return NotFound("DFS object " + path);
@@ -111,7 +111,7 @@ Status Dfs::Delete(const std::string& path) {
 }
 
 size_t Dfs::DeletePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t removed = 0;
   for (auto it = objects_.begin(); it != objects_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {
@@ -126,7 +126,7 @@ size_t Dfs::DeletePrefix(const std::string& prefix) {
 }
 
 std::vector<std::string> Dfs::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<std::string> out;
   for (const auto& [path, obj] : objects_) {
     if (path.rfind(prefix, 0) == 0) {
@@ -138,7 +138,7 @@ std::vector<std::string> Dfs::List(const std::string& prefix) const {
 }
 
 size_t Dfs::CorruptMatching(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t corrupted = 0;
   for (auto& [path, obj] : objects_) {
     if (path.rfind(prefix, 0) == 0) {
@@ -150,17 +150,17 @@ size_t Dfs::CorruptMatching(const std::string& prefix) {
 }
 
 uint64_t Dfs::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return total_bytes_;
 }
 
 uint64_t Dfs::PeakBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return peak_bytes_;
 }
 
 uint64_t Dfs::NumObjects() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return objects_.size();
 }
 

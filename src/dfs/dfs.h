@@ -21,12 +21,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flint {
@@ -130,10 +131,10 @@ class Dfs {
   void ChargeRead(uint64_t bytes, double slow_factor) const;
 
   DfsConfig config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, DfsObject> objects_;
-  uint64_t total_bytes_ = 0;
-  uint64_t peak_bytes_ = 0;
+  mutable Mutex mutex_{"Dfs::mutex_"};
+  std::unordered_map<std::string, DfsObject> objects_ GUARDED_BY(mutex_);
+  uint64_t total_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t peak_bytes_ GUARDED_BY(mutex_) = 0;
   mutable std::atomic<uint64_t> bytes_written_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   bool model_latency_ = true;

@@ -20,7 +20,7 @@ std::vector<BlockEviction> BlockManager::Put(const BlockKey& key, PartitionPtr d
   const uint64_t size = data->SizeBytes();
   uint64_t spill_bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (size > config_.memory_budget_bytes) {
       if (stored != nullptr) {
         *stored = false;
@@ -95,7 +95,7 @@ void BlockManager::EvictLocked(uint64_t needed, std::vector<BlockEviction>* evic
 PartitionPtr BlockManager::Get(const BlockKey& key) {
   PartitionPtr from_spill;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       lru_.erase(it->second.lru_it);
@@ -117,12 +117,12 @@ PartitionPtr BlockManager::Get(const BlockKey& key) {
 }
 
 bool BlockManager::Contains(const BlockKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return memory_.count(key) > 0 || spill_.count(key) > 0;
 }
 
 void BlockManager::Erase(const BlockKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = memory_.find(key);
   if (it != memory_.end()) {
     memory_used_ -= it->second.size;
@@ -137,7 +137,7 @@ void BlockManager::Erase(const BlockKey& key) {
 }
 
 void BlockManager::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   memory_.clear();
   spill_.clear();
   lru_.clear();
@@ -146,22 +146,22 @@ void BlockManager::Clear() {
 }
 
 uint64_t BlockManager::memory_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return memory_used_;
 }
 
 uint64_t BlockManager::spill_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return spill_used_;
 }
 
 size_t BlockManager::num_memory_blocks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return memory_.size();
 }
 
 size_t BlockManager::num_spill_blocks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return spill_.size();
 }
 

@@ -9,11 +9,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/engine/partition.h"
 
@@ -83,17 +84,17 @@ class BlockManager {
     std::list<BlockKey>::iterator lru_it;
   };
 
-  // Evicts until `needed` bytes fit. Caller holds mutex_.
-  void EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions);
+  // Evicts until `needed` bytes fit.
+  void EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions) REQUIRES(mutex_);
   void ChargeDisk(uint64_t bytes) const;
 
   BlockManagerConfig config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<BlockKey, Entry, BlockKeyHash> memory_;
-  std::unordered_map<BlockKey, PartitionPtr, BlockKeyHash> spill_;
-  std::list<BlockKey> lru_;  // front = most recent
-  uint64_t memory_used_ = 0;
-  uint64_t spill_used_ = 0;
+  mutable Mutex mutex_{"BlockManager::mutex_"};
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> memory_ GUARDED_BY(mutex_);
+  std::unordered_map<BlockKey, PartitionPtr, BlockKeyHash> spill_ GUARDED_BY(mutex_);
+  std::list<BlockKey> lru_ GUARDED_BY(mutex_);  // front = most recent
+  uint64_t memory_used_ GUARDED_BY(mutex_) = 0;
+  uint64_t spill_used_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flint

@@ -23,7 +23,7 @@ FlintContext::~FlintContext() {
   cluster_->DrainEvents();
   std::vector<std::shared_ptr<NodeState>> all;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     for (auto& [id, node] : nodes_) {
       all.push_back(node);
     }
@@ -48,7 +48,7 @@ RddPtr FlintContext::CreateRdd(std::string name, int num_partitions,
   auto rdd = std::make_shared<LambdaRdd>(this, std::move(name), num_partitions, std::move(deps),
                                          std::move(fn));
   {
-    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    MutexLock lock(&rdd_mutex_);
     rdds_[rdd->id()] = rdd;
   }
   for (EngineObserver* obs : ObserversSnapshot()) {
@@ -59,7 +59,7 @@ RddPtr FlintContext::CreateRdd(std::string name, int num_partitions,
 
 void FlintContext::RegisterShuffleInfo(const std::shared_ptr<ShuffleInfo>& info) {
   {
-    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    MutexLock lock(&rdd_mutex_);
     shuffle_infos_[info->shuffle_id] = info;
   }
   shuffle_mgr_.RegisterShuffle(info->shuffle_id, info->num_map_partitions,
@@ -67,7 +67,7 @@ void FlintContext::RegisterShuffleInfo(const std::shared_ptr<ShuffleInfo>& info)
 }
 
 std::shared_ptr<ShuffleInfo> FlintContext::LookupShuffle(int shuffle_id) const {
-  std::lock_guard<std::mutex> lock(rdd_mutex_);
+  ReaderMutexLock lock(&rdd_mutex_);
   auto it = shuffle_infos_.find(shuffle_id);
   if (it == shuffle_infos_.end()) {
     return nullptr;
@@ -76,22 +76,22 @@ std::shared_ptr<ShuffleInfo> FlintContext::LookupShuffle(int shuffle_id) const {
 }
 
 void FlintContext::AddObserver(EngineObserver* observer) {
-  std::lock_guard<std::mutex> lock(observers_mutex_);
+  MutexLock lock(&observers_mutex_);
   observers_.push_back(observer);
 }
 
 void FlintContext::RemoveObserver(EngineObserver* observer) {
-  std::lock_guard<std::mutex> lock(observers_mutex_);
+  MutexLock lock(&observers_mutex_);
   std::erase(observers_, observer);
 }
 
 std::vector<EngineObserver*> FlintContext::ObserversSnapshot() const {
-  std::lock_guard<std::mutex> lock(observers_mutex_);
+  ReaderMutexLock lock(&observers_mutex_);
   return observers_;
 }
 
 Result<std::vector<PartitionPtr>> FlintContext::Materialize(const RddPtr& rdd) {
-  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  MutexLock job_lock(&job_mutex_);
   return scheduler_->Materialize(rdd);
 }
 
@@ -100,7 +100,7 @@ Result<std::vector<PartitionPtr>> FlintContext::Materialize(const RddPtr& rdd) {
 PartitionPtr FlintContext::LookupBlock(const BlockKey& key, NodeId local) {
   std::vector<NodeId> locations;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(&registry_mutex_);
     auto it = block_locations_.find(key);
     if (it == block_locations_.end()) {
       return nullptr;
@@ -127,7 +127,7 @@ PartitionPtr FlintContext::LookupBlock(const BlockKey& key, NodeId local) {
         return data;
       }
       // Stale location (evicted): clean it up.
-      std::lock_guard<std::mutex> lock(registry_mutex_);
+      MutexLock lock(&registry_mutex_);
       auto it = block_locations_.find(key);
       if (it != block_locations_.end()) {
         std::erase(it->second, n);
@@ -147,7 +147,7 @@ void FlintContext::StoreBlock(const BlockKey& key, NodeId node_id, PartitionPtr 
   }
   bool stored = false;
   std::vector<BlockEviction> evictions = node->blocks->Put(key, std::move(data), &stored);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(&registry_mutex_);
   for (const auto& ev : evictions) {
     if (!ev.spilled) {
       auto it = block_locations_.find(ev.key);
@@ -176,13 +176,13 @@ void FlintContext::StoreBlock(const BlockKey& key, NodeId node_id, PartitionPtr 
 }
 
 bool FlintContext::BlockAvailable(const BlockKey& key) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ReaderMutexLock lock(&registry_mutex_);
   auto it = block_locations_.find(key);
   return it != block_locations_.end() && !it->second.empty();
 }
 
 std::vector<std::pair<BlockKey, NodeId>> FlintContext::BlockRegistrySnapshot() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ReaderMutexLock lock(&registry_mutex_);
   std::vector<std::pair<BlockKey, NodeId>> out;
   out.reserve(block_locations_.size());
   for (const auto& [key, nodes] : block_locations_) {
@@ -204,7 +204,7 @@ void FlintContext::UnpersistRdd(const RddPtr& rdd) {
     for (const auto& node : nodes) {
       node->blocks->Erase(key);
     }
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(&registry_mutex_);
     block_locations_.erase(key);
   }
 }
@@ -224,7 +224,7 @@ bool FlintContext::AllPartitionsAvailable(const RddPtr& rdd) const {
 // --- nodes ---
 
 std::vector<std::shared_ptr<NodeState>> FlintContext::LiveNodeStates() const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  ReaderMutexLock lock(&nodes_mutex_);
   std::vector<std::shared_ptr<NodeState>> out;
   out.reserve(nodes_.size());
   for (const auto& [id, node] : nodes_) {
@@ -236,7 +236,7 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::LiveNodeStates() const {
 }
 
 std::vector<std::shared_ptr<NodeState>> FlintContext::SchedulableNodeStates() const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  ReaderMutexLock lock(&nodes_mutex_);
   std::vector<std::shared_ptr<NodeState>> out;
   out.reserve(nodes_.size());
   for (const auto& [id, node] : nodes_) {
@@ -249,7 +249,7 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::SchedulableNodeStates() co
 }
 
 std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  ReaderMutexLock lock(&nodes_mutex_);
   auto it = nodes_.find(id);
   if (it != nodes_.end()) {
     return it->second;
@@ -265,7 +265,7 @@ std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
 void FlintContext::DrainExecutors() {
   std::vector<std::shared_ptr<NodeState>> all;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     for (auto& [id, node] : nodes_) {
       all.push_back(node);
     }
@@ -278,20 +278,26 @@ void FlintContext::DrainExecutors() {
   }
 }
 
+bool FlintContext::HasSchedulableNodeLocked() const {
+  for (const auto& [id, node] : nodes_) {
+    if (!node->revoked.load(std::memory_order_acquire) &&
+        !node->draining.load(std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void FlintContext::WaitForLiveNode() {
   const auto t0 = WallClock::now();
-  std::unique_lock<std::mutex> lock(nodes_mutex_);
-  // A node that is merely draining (revocation warning) cannot take new
-  // tasks, so waiting on it would spin; require a schedulable node.
-  node_added_cv_.wait(lock, [this] {
-    for (const auto& [id, node] : nodes_) {
-      if (!node->revoked.load(std::memory_order_acquire) &&
-          !node->draining.load(std::memory_order_acquire)) {
-        return true;
-      }
+  {
+    MutexLock lock(&nodes_mutex_);
+    // A node that is merely draining (revocation warning) cannot take new
+    // tasks, so waiting on it would spin; require a schedulable node.
+    while (!HasSchedulableNodeLocked()) {
+      node_added_cv_.Wait(nodes_mutex_);
     }
-    return false;
-  });
+  }
   counters_.acquisition_wait_nanos.fetch_add(
       std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0).count(),
       std::memory_order_relaxed);
@@ -300,17 +306,17 @@ void FlintContext::WaitForLiveNode() {
 // --- checkpoint plumbing ---
 
 bool FlintContext::ClaimCheckpointWrite(const std::string& path) {
-  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  MutexLock lock(&ckpt_mutex_);
   return ckpt_inflight_.insert(path).second;
 }
 
 void FlintContext::ReleaseCheckpointWrite(const std::string& path) {
-  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  MutexLock lock(&ckpt_mutex_);
   ckpt_inflight_.erase(path);
 }
 
 bool FlintContext::CheckpointWriteInFlight(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  ReaderMutexLock lock(&ckpt_mutex_);
   return ckpt_inflight_.count(path) > 0;
 }
 
@@ -349,7 +355,7 @@ Status FlintContext::WriteCheckpointData(const RddPtr& rdd, int partition, Parti
     return st;
   }
   {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(&ckpt_mutex_);
     ckpt_written_[rdd->id()][partition] = CheckpointPartitionMeta{obj.size_bytes, obj.crc32};
   }
   ReleaseCheckpointWrite(path);
@@ -380,7 +386,7 @@ Status FlintContext::CommitCheckpointManifest(const RddPtr& rdd) {
   manifest->rdd_id = rdd->id();
   manifest->partitions.resize(static_cast<size_t>(num_partitions));
   {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(&ckpt_mutex_);
     auto it = ckpt_written_.find(rdd->id());
     if (it == ckpt_written_.end() || static_cast<int>(it->second.size()) != num_partitions) {
       return FailedPrecondition("checkpoint for rdd " + std::to_string(rdd->id()) +
@@ -419,7 +425,7 @@ Status FlintContext::CommitCheckpointManifest(const RddPtr& rdd) {
     counters_.writes_abandoned.fetch_add(1, std::memory_order_relaxed);
     return st;
   }
-  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  MutexLock lock(&ckpt_mutex_);
   ckpt_written_.erase(rdd->id());
   return Status::Ok();
 }
@@ -429,7 +435,7 @@ void FlintContext::QuarantineCheckpoint(const RddPtr& rdd, const std::string& re
   const size_t removed = dfs_->DeletePrefix(rdd->CheckpointDir());
   counters_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(&ckpt_mutex_);
     ckpt_written_.erase(rdd->id());
   }
   FLINT_WLOG() << "checkpoint quarantined: rdd " << rdd->id() << " (" << reason << "), "
@@ -544,7 +550,7 @@ void FlintContext::NotifyPartitionComputed(const RddPtr& rdd, int partition, dou
                                     std::memory_order_relaxed);
   bool first_full_materialization = false;
   {
-    std::lock_guard<std::mutex> lock(rdd_mutex_);
+    MutexLock lock(&rdd_mutex_);
     auto& counts = computed_counts_[rdd->id()];
     int& c = counts[partition];
     ++c;
@@ -582,10 +588,10 @@ void FlintContext::OnNodeAdded(const NodeInfo& info) {
   node->blocks = std::make_unique<BlockManager>(bm);
   node->pool = std::make_unique<ThreadPool>(static_cast<size_t>(info.executor_threads));
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     nodes_[info.node_id] = std::move(node);
   }
-  node_added_cv_.notify_all();
+  node_added_cv_.NotifyAll();
   for (EngineObserver* obs : ObserversSnapshot()) {
     obs->OnNodeAdded(info);
   }
@@ -597,7 +603,7 @@ void FlintContext::OnNodeWarning(const NodeInfo& info) {
   // would otherwise keep dispatching to a server that is about to vanish.
   std::shared_ptr<NodeState> node;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     auto it = nodes_.find(info.node_id);
     if (it != nodes_.end()) {
       node = it->second;
@@ -615,7 +621,7 @@ void FlintContext::OnNodeWarning(const NodeInfo& info) {
 void FlintContext::OnNodeRevoked(const NodeInfo& info) {
   std::shared_ptr<NodeState> node;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     auto it = nodes_.find(info.node_id);
     if (it != nodes_.end()) {
       node = it->second;
@@ -632,7 +638,7 @@ void FlintContext::OnNodeRevoked(const NodeInfo& info) {
   // Remove the node from the block registry and shuffle outputs: its memory
   // and local disk are gone.
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(&registry_mutex_);
     for (auto it = block_locations_.begin(); it != block_locations_.end();) {
       std::erase(it->second, info.node_id);
       if (it->second.empty()) {

@@ -8,17 +8,17 @@
 #define SRC_ENGINE_CONTEXT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/cluster/cluster_manager.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/dfs/dfs.h"
 #include "src/dfs/manifest.h"
@@ -210,6 +210,9 @@ class FlintContext : public ClusterListener {
 
   std::vector<EngineObserver*> ObserversSnapshot() const;
 
+  // True when some live node accepts new tasks (not revoked, not draining).
+  bool HasSchedulableNodeLocked() const REQUIRES(nodes_mutex_);
+
   // In-flight claim for one checkpoint path; at most one writer holds it.
   bool ClaimCheckpointWrite(const std::string& path);
   void ReleaseCheckpointWrite(const std::string& path);
@@ -221,28 +224,29 @@ class FlintContext : public ClusterListener {
   ShuffleManager shuffle_mgr_;
   EngineCounters counters_;
 
-  mutable std::mutex nodes_mutex_;
-  std::condition_variable node_added_cv_;
-  std::unordered_map<NodeId, std::shared_ptr<NodeState>> nodes_;  // live
-  std::vector<std::shared_ptr<NodeState>> retired_;
+  mutable Mutex nodes_mutex_{"FlintContext::nodes_mutex_"};
+  CondVar node_added_cv_;
+  std::unordered_map<NodeId, std::shared_ptr<NodeState>> nodes_ GUARDED_BY(nodes_mutex_);  // live
+  std::vector<std::shared_ptr<NodeState>> retired_ GUARDED_BY(nodes_mutex_);
 
-  mutable std::mutex registry_mutex_;
-  std::unordered_map<BlockKey, std::vector<NodeId>, BlockKeyHash> block_locations_;
+  mutable Mutex registry_mutex_{"FlintContext::registry_mutex_"};
+  std::unordered_map<BlockKey, std::vector<NodeId>, BlockKeyHash> block_locations_
+      GUARDED_BY(registry_mutex_);
 
-  mutable std::mutex rdd_mutex_;
+  mutable Mutex rdd_mutex_{"FlintContext::rdd_mutex_"};
   std::atomic<int> next_rdd_id_{0};
   std::atomic<int> next_shuffle_id_{0};
-  std::unordered_map<int, std::weak_ptr<ShuffleInfo>> shuffle_infos_;
+  std::unordered_map<int, std::weak_ptr<ShuffleInfo>> shuffle_infos_ GUARDED_BY(rdd_mutex_);
   // Partitions computed at least once, per RDD; drives OnRddMaterialized and
   // the recompute counter.
-  std::unordered_map<int, std::unordered_map<int, int>> computed_counts_;
-  std::unordered_map<int, std::weak_ptr<Rdd>> rdds_;
-  std::unordered_set<int> materialized_fired_;
+  std::unordered_map<int, std::unordered_map<int, int>> computed_counts_ GUARDED_BY(rdd_mutex_);
+  std::unordered_map<int, std::weak_ptr<Rdd>> rdds_ GUARDED_BY(rdd_mutex_);
+  std::unordered_set<int> materialized_fired_ GUARDED_BY(rdd_mutex_);
 
-  mutable std::mutex observers_mutex_;
-  std::vector<EngineObserver*> observers_;
+  mutable Mutex observers_mutex_{"FlintContext::observers_mutex_"};
+  std::vector<EngineObserver*> observers_ GUARDED_BY(observers_mutex_);
 
-  std::mutex job_mutex_;  // one job at a time
+  Mutex job_mutex_{"FlintContext::job_mutex_"};  // one job at a time
   std::unique_ptr<DagScheduler> scheduler_;
   std::atomic<int> round_robin_{0};
   std::atomic<EngineProbe*> probe_{nullptr};
@@ -250,9 +254,10 @@ class FlintContext : public ClusterListener {
   // Checkpoint write tracking: in-flight path claims (prevents double
   // writes) and the per-RDD metadata of durably written partitions, consumed
   // by CommitCheckpointManifest.
-  mutable std::mutex ckpt_mutex_;
-  std::unordered_set<std::string> ckpt_inflight_;
-  std::unordered_map<int, std::unordered_map<int, CheckpointPartitionMeta>> ckpt_written_;
+  mutable Mutex ckpt_mutex_{"FlintContext::ckpt_mutex_"};
+  std::unordered_set<std::string> ckpt_inflight_ GUARDED_BY(ckpt_mutex_);
+  std::unordered_map<int, std::unordered_map<int, CheckpointPartitionMeta>> ckpt_written_
+      GUARDED_BY(ckpt_mutex_);
 };
 
 }  // namespace flint

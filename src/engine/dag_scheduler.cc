@@ -1,14 +1,14 @@
 #include "src/engine/dag_scheduler.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 
 #include "src/common/log.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/context.h"
 #include "src/engine/task_context.h"
 
@@ -23,23 +23,25 @@ class OutcomeQueue {
     // Notify while holding the lock: the scheduler destroys this queue as
     // soon as it has popped the final outcome, so the notify must complete
     // before the popper can observe the push.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(outcome));
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   DagScheduler::TaskOutcome Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !queue_.empty(); });
+    MutexLock lock(&mutex_);
+    while (queue_.empty()) {
+      cv_.Wait(mutex_);
+    }
     DagScheduler::TaskOutcome outcome = std::move(queue_.front());
     queue_.pop_front();
     return outcome;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<DagScheduler::TaskOutcome> queue_;
+  Mutex mutex_{"OutcomeQueue::mutex_"};
+  CondVar cv_;
+  std::deque<DagScheduler::TaskOutcome> queue_ GUARDED_BY(mutex_);
 };
 
 namespace {

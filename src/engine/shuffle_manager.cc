@@ -5,7 +5,7 @@
 namespace flint {
 
 void ShuffleManager::RegisterShuffle(int shuffle_id, int num_maps, int num_reduces) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& state = shuffles_[shuffle_id];
   if (state.outputs.empty()) {
     state.num_maps = num_maps;
@@ -16,7 +16,7 @@ void ShuffleManager::RegisterShuffle(int shuffle_id, int num_maps, int num_reduc
 
 void ShuffleManager::RegisterMapOutput(int shuffle_id, int map_part, NodeId node,
                                        std::vector<PartitionPtr> buckets) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end() || map_part < 0 ||
       static_cast<size_t>(map_part) >= it->second.outputs.size()) {
@@ -29,7 +29,7 @@ void ShuffleManager::RegisterMapOutput(int shuffle_id, int map_part, NodeId node
 }
 
 std::vector<int> ShuffleManager::MissingMaps(int shuffle_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<int> missing;
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end()) {
@@ -44,7 +44,7 @@ std::vector<int> ShuffleManager::MissingMaps(int shuffle_id) const {
 }
 
 bool ShuffleManager::IsComplete(int shuffle_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end()) {
     return false;
@@ -58,7 +58,7 @@ bool ShuffleManager::IsComplete(int shuffle_id) const {
 }
 
 Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int reduce_part) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end()) {
     return DataLoss("unknown shuffle " + std::to_string(shuffle_id));
@@ -78,7 +78,7 @@ Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int redu
 }
 
 void ShuffleManager::OnNodeRevoked(NodeId node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [id, state] : shuffles_) {
     for (auto& out : state.outputs) {
       if (out.present && out.node == node) {
@@ -90,7 +90,7 @@ void ShuffleManager::OnNodeRevoked(NodeId node) {
 }
 
 uint64_t ShuffleManager::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& [id, state] : shuffles_) {
     for (const auto& out : state.outputs) {
@@ -105,7 +105,7 @@ uint64_t ShuffleManager::TotalBytes() const {
 }
 
 uint64_t ShuffleManager::RecentShuffleBytes(int last_n) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<int> ids;
   ids.reserve(shuffles_.size());
   for (const auto& [id, state] : shuffles_) {
@@ -129,7 +129,7 @@ uint64_t ShuffleManager::RecentShuffleBytes(int last_n) const {
 }
 
 void ShuffleManager::RemoveShuffle(int shuffle_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   shuffles_.erase(shuffle_id);
 }
 

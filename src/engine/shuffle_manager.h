@@ -8,12 +8,13 @@
 #ifndef SRC_ENGINE_SHUFFLE_MANAGER_H_
 #define SRC_ENGINE_SHUFFLE_MANAGER_H_
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cluster/cluster_manager.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/partition.h"
 
 namespace flint {
@@ -63,8 +64,8 @@ class ShuffleManager {
     std::vector<MapOutput> outputs;  // indexed by map partition
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<int, ShuffleState> shuffles_;
+  mutable Mutex mutex_{"ShuffleManager::mutex_"};
+  std::unordered_map<int, ShuffleState> shuffles_ GUARDED_BY(mutex_);
 };
 
 }  // namespace flint

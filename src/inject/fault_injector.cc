@@ -34,7 +34,7 @@ FaultInjector::~FaultInjector() {
 void FaultInjector::AtPoint(EnginePoint point) {
   std::vector<size_t> due;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.points_observed;
     const int hit = hits_[PointIndex(point)]++;
     for (size_t i = 0; i < plan_.events.size(); ++i) {
@@ -87,14 +87,14 @@ void FaultInjector::Fire(const FaultEvent& event) {
     case FaultActionKind::kFailWrites: {
       FLINT_ILOG() << "fault injection: failing next " << event.count << " write(s) matching '"
                    << event.path_prefix << "'";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       write_fails_.push_back(PrefixBudget{event.path_prefix, event.count});
       return;
     }
     case FaultActionKind::kFailReads: {
       FLINT_ILOG() << "fault injection: failing next " << event.count << " read(s) matching '"
                    << event.path_prefix << "'";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       read_fails_.push_back(PrefixBudget{event.path_prefix, event.count});
       return;
     }
@@ -105,14 +105,14 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
       FLINT_ILOG() << "fault injection: corrupted " << corrupted << " object(s) matching '"
                    << event.path_prefix << "'";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stats_.objects_corrupted += corrupted;
       return;
     }
     case FaultActionKind::kDfsOutage: {
       FLINT_ILOG() << "fault injection: DFS outage for " << event.duration_seconds
                    << "s on paths matching '" << event.path_prefix << "'";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       outages_.push_back(
           FaultWindow{event.path_prefix,
                       WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
@@ -124,7 +124,7 @@ void FaultInjector::Fire(const FaultEvent& event) {
       FLINT_ILOG() << "fault injection: DFS " << event.slow_factor << "x slowdown for "
                    << event.duration_seconds << "s on paths matching '" << event.path_prefix
                    << "'";
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       slowdowns_.push_back(
           FaultWindow{event.path_prefix,
                       WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
@@ -138,12 +138,12 @@ void FaultInjector::Fire(const FaultEvent& event) {
     FLINT_ILOG() << "fault injection: revoking " << victims.size() << " node(s)"
                  << (event.with_warning ? " with warning" : "");
     cluster_->Revoke(victims, event.with_warning);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stats_.nodes_revoked += victims.size();
   }
   if (event.replacement_count > 0) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stats_.replacements_scheduled += static_cast<uint64_t>(event.replacement_count);
     }
     timers_.ScheduleAfter(WallDuration(event.replacement_delay_seconds), [this, event] {
@@ -169,7 +169,7 @@ DfsFaultVerdict FaultInjector::OnGet(const std::string& path) {
 
 DfsFaultVerdict FaultInjector::Evaluate(const std::string& path, bool is_write) {
   const WallTime now = WallClock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const FaultWindow& outage : outages_) {
     if (now < outage.until && MatchesPrefix(path, outage.prefix)) {
       if (is_write) {
@@ -210,17 +210,17 @@ DfsFaultVerdict FaultInjector::Evaluate(const std::string& path, bool is_write) 
 }
 
 FaultInjector::Stats FaultInjector::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
 int FaultInjector::HitCount(EnginePoint point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return hits_[PointIndex(point)];
 }
 
 bool FaultInjector::AllEventsFired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return std::all_of(fired_.begin(), fired_.end(), [](bool f) { return f; });
 }
 

@@ -19,12 +19,13 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster_manager.h"
 #include "src/cluster/timer_queue.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/dfs/dfs.h"
 #include "src/engine/observer.h"
@@ -89,15 +90,15 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
   FaultPlan plan_;
   Dfs* dfs_;
 
-  mutable std::mutex mutex_;
-  std::array<int, kEnginePointCount> hits_{};
-  std::vector<bool> fired_;
-  Stats stats_;
+  mutable Mutex mutex_{"FaultInjector::mutex_"};
+  std::array<int, kEnginePointCount> hits_ GUARDED_BY(mutex_){};
+  std::vector<bool> fired_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
   // Armed storage faults; evaluated under mutex_ by OnPut/OnGet.
-  std::vector<PrefixBudget> write_fails_;
-  std::vector<PrefixBudget> read_fails_;
-  std::vector<FaultWindow> outages_;
-  std::vector<FaultWindow> slowdowns_;
+  std::vector<PrefixBudget> write_fails_ GUARDED_BY(mutex_);
+  std::vector<PrefixBudget> read_fails_ GUARDED_BY(mutex_);
+  std::vector<FaultWindow> outages_ GUARDED_BY(mutex_);
+  std::vector<FaultWindow> slowdowns_ GUARDED_BY(mutex_);
 
   TimerQueue timers_;  // delayed replacement arrivals
 };

@@ -44,6 +44,30 @@ class ProbeGuard {
   FaultInjector* injector_;
 };
 
+// Every storm scenario runs with the runtime lock-order detector enabled:
+// the suite doubles as a deadlock-potential regression net over the engine,
+// checkpoint, cluster, and injector locking (see src/common/mutex.h). The
+// fixture snapshots the violation count so a cycle introduced by any lock
+// taken during the storm fails the test that provoked it.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = SetMutexDebug(true);
+    violations_before_ = GetLockOrderViolations().size();
+  }
+  void TearDown() override {
+    const auto violations = GetLockOrderViolations();
+    EXPECT_EQ(violations.size(), violations_before_)
+        << "lock-order cycle detected during the storm: "
+        << (violations.empty() ? "" : violations.back().description);
+    SetMutexDebug(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+  size_t violations_before_ = 0;
+};
+
 // (key, count) pairs with every key appearing `records / keys` times.
 std::vector<std::pair<int, int>> KeyedRecords(int records, int keys) {
   std::vector<std::pair<int, int>> data;
@@ -89,7 +113,7 @@ TEST(FaultInjectorTest, FiresOncePerEventAtTheScriptedHit) {
 // land. Pre-fix, RunShuffleStage hot-spun through its attempt budget and
 // returned Internal("shuffle stage failed to converge"); now it parks on
 // WaitForLiveNode and completes with correct results.
-TEST(FaultInjectionTest, WarningStormAtShuffleDispatchParksAndCompletes) {
+TEST_F(FaultInjectionTest, WarningStormAtShuffleDispatchParksAndCompletes) {
   // Real scale so the warning window (2 model minutes -> 100 ms) dwarfs any
   // retry loop: a busy-looping scheduler would burn its attempt budget long
   // before the replacements arrive.
@@ -122,7 +146,7 @@ TEST(FaultInjectionTest, WarningStormAtShuffleDispatchParksAndCompletes) {
 // completes (not Internal) when every node is hard-revoked mid-map-stage and
 // replacements arrive later — and the answer is bit-identical to an
 // untouched cluster's.
-TEST(FaultInjectionTest, MaterializeOverShuffleSurvivesHardKillMidMapStage) {
+TEST_F(FaultInjectionTest, MaterializeOverShuffleSurvivesHardKillMidMapStage) {
   std::vector<std::pair<int, int>> reference;
   {
     EngineHarness clean;
@@ -153,7 +177,7 @@ TEST(FaultInjectionTest, MaterializeOverShuffleSurvivesHardKillMidMapStage) {
 // The unified loop protects the result stage the same way: a warning storm
 // at the first scheduler round of a shuffle-free job drains every pool
 // before dispatch, and the stage must park rather than spin.
-TEST(FaultInjectionTest, ResultStageParksUnderWarningStorm) {
+TEST_F(FaultInjectionTest, ResultStageParksUnderWarningStorm) {
   EngineHarness h{EngineHarnessOptions{.num_nodes = 3, .seconds_per_model_hour = 3.0}};
   FaultPlan plan;
   plan.events.push_back(RevokeAllAt(EnginePoint::kSchedulerRound, /*after_hits=*/0,
@@ -175,7 +199,7 @@ TEST(FaultInjectionTest, ResultStageParksUnderWarningStorm) {
 // k-of-m storm with warning during checkpoint writes: the surviving nodes
 // finish the round, the checkpoint lands durably, and reads come back from
 // the DFS after the victims are gone.
-TEST(FaultInjectionTest, RevokeKofMWithWarningDuringCheckpointWrite) {
+TEST_F(FaultInjectionTest, RevokeKofMWithWarningDuringCheckpointWrite) {
   EngineHarness h{EngineHarnessOptions{.num_nodes = 4, .seconds_per_model_hour = 3.0}};
   CheckpointConfig cfg;
   cfg.policy = CheckpointPolicyKind::kFlint;
@@ -219,7 +243,7 @@ TEST(FaultInjectionTest, RevokeKofMWithWarningDuringCheckpointWrite) {
 // writes across the outage (write_retries), the pending sweep re-enqueues
 // anything whose writer died with its node, and the job result is
 // bit-identical to a fault-free run.
-TEST(FaultInjectionTest, CheckpointSurvivesRevokeAllComposedWithDfsOutage) {
+TEST_F(FaultInjectionTest, CheckpointSurvivesRevokeAllComposedWithDfsOutage) {
   std::vector<std::pair<int, int>> reference;
   {
     EngineHarness clean;
@@ -277,7 +301,7 @@ TEST(FaultInjectionTest, CheckpointSurvivesRevokeAllComposedWithDfsOutage) {
 // never drive the stage loops into a busy-spin — the total number of
 // dispatch rounds stays far below the convergence budget and the job still
 // produces the exact reference answer.
-TEST(FaultInjectionTest, StageLoopsNeverBusyLoopUnderRepeatedStorms) {
+TEST_F(FaultInjectionTest, StageLoopsNeverBusyLoopUnderRepeatedStorms) {
   std::vector<std::pair<int, int>> reference;
   {
     EngineHarness clean;

@@ -1,46 +1,157 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus sanitizer passes over the fault suites.
+# Tier-1 verification, static analysis, and sanitizer passes.
 #
-#   tools/check.sh            # full build + ctest, then TSan + ASan passes
-#   tools/check.sh --fast     # skip the sanitizer passes
+#   tools/check.sh            # tier-1 + static + TSan + ASan + UBSan
+#   tools/check.sh --fast     # tier-1 only (skip static + sanitizers)
+#   tools/check.sh --static   # static-analysis leg only
 #
-# The TSan pass rebuilds into build-tsan/ with FLINT_SANITIZE=thread and runs
-# the storm scenarios (tests/fault_injection_test.cc) plus the DFS storage
-# fault matrix (tests/dfs_fault_test.cc): revocations, retries, degraded-mode
-# probes, and quarantines fire from injector, timer, executor, and scheduler
-# threads at once, which is where data races would live. The ASan pass
-# rebuilds with FLINT_SANITIZE=address and runs the checkpoint + DFS-fault
-# suites, where abandoned writes and quarantined directories could leak.
+# Legs:
+#   tier-1   cmake build + full ctest (the contract every PR must keep green).
+#   static   clang++ -Wthread-safety -Wthread-safety-beta -Werror syntax-only
+#            pass over every file in src/ (proves the GUARDED_BY / REQUIRES
+#            contracts in src/common/thread_annotations.h), then clang-tidy
+#            with the curated .clang-tidy at the repo root. Both tools are
+#            optional in minimal containers: missing ones warn + skip, they
+#            never fail the run.
+#   tsan     FLINT_SANITIZE=thread rebuild; storm scenarios + DFS fault matrix
+#            + mutex/lock-order detector tests — revocations, retries,
+#            degraded-mode probes, and quarantines fire from injector, timer,
+#            executor, and scheduler threads at once, which is where data
+#            races live.
+#   asan     FLINT_SANITIZE=address rebuild; checkpoint + DFS-fault suites,
+#            where abandoned writes and quarantined directories could leak.
+#   ubsan    FLINT_SANITIZE=undefined rebuild (-fno-sanitize-recover, so any
+#            UB aborts the test); same suites as TSan plus checkpoint math.
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-}"
 
-echo "== tier-1: build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}"
+# Per-leg results for the summary table: "pass", "FAIL", or "skipped (...)".
+LEG_NAMES=()
+LEG_RESULTS=()
+FAILED=0
 
-echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+record() {  # record <leg> <result>
+  LEG_NAMES+=("$1")
+  LEG_RESULTS+=("$2")
+  if [[ "$2" == FAIL* ]]; then
+    FAILED=1
+  fi
+}
 
-if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping sanitizer passes (--fast) =="
+summary() {
+  echo
+  echo "== summary =="
+  printf '%-10s %s\n' "leg" "result"
+  printf '%-10s %s\n' "---" "------"
+  for i in "${!LEG_NAMES[@]}"; do
+    printf '%-10s %s\n' "${LEG_NAMES[$i]}" "${LEG_RESULTS[$i]}"
+  done
+  if [[ "${FAILED}" -ne 0 ]]; then
+    echo "RESULT: FAIL"
+    exit 1
+  fi
+  echo "RESULT: pass"
   exit 0
+}
+
+run_tier1() {
+  echo "== tier-1: build + ctest =="
+  if cmake -B build -S . >/dev/null \
+      && cmake --build build -j "${JOBS}" \
+      && ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+    record tier-1 pass
+  else
+    record tier-1 FAIL
+  fi
+}
+
+run_static() {
+  # Leg 1: clang thread-safety analysis, syntax-only (no objects, no link):
+  # each translation unit in src/ is parsed with the annotations promoted to
+  # errors. GCC cannot run this analysis, so a container without clang++
+  # warns and skips rather than failing.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== static: clang -Wthread-safety over src/ =="
+    local ts_fail=0
+    local src
+    while IFS= read -r src; do
+      if ! clang++ -std=c++20 -fsyntax-only -I. \
+          -Wthread-safety -Wthread-safety-beta \
+          -Werror=thread-safety-analysis -Werror=thread-safety-attributes \
+          -Werror=thread-safety-precise -Werror=thread-safety-reference \
+          "${src}"; then
+        echo "thread-safety: ${src} FAILED"
+        ts_fail=1
+      fi
+    done < <(find src -name '*.cc' | sort)
+    if [[ "${ts_fail}" -eq 0 ]]; then
+      record thread-safety pass
+    else
+      record thread-safety FAIL
+    fi
+  else
+    echo "WARNING: clang++ not found; skipping -Wthread-safety analysis" >&2
+    record thread-safety "skipped (no clang++)"
+  fi
+
+  # Leg 2: clang-tidy with the curated .clang-tidy at the repo root
+  # (bugprone-* and concurrency-* are WarningsAsErrors there).
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== static: clang-tidy over src/ =="
+    if find src -name '*.cc' -print0 \
+        | xargs -0 -n 8 -P "${JOBS}" clang-tidy --quiet -- -std=c++20 -I.; then
+      record clang-tidy pass
+    else
+      record clang-tidy FAIL
+    fi
+  else
+    echo "WARNING: clang-tidy not found; skipping clang-tidy leg" >&2
+    record clang-tidy "skipped (no clang-tidy)"
+  fi
+}
+
+run_sanitizer() {  # run_sanitizer <leg> <FLINT_SANITIZE value> <build dir> <gtest filter>
+  local leg="$1" san="$2" dir="$3" filter="$4"
+  echo "== ${leg}: build (FLINT_SANITIZE=${san}) =="
+  if cmake -B "${dir}" -S . -DFLINT_SANITIZE="${san}" >/dev/null \
+      && cmake --build "${dir}" -j "${JOBS}" --target flint_tests; then
+    echo "== ${leg}: ${filter} =="
+    if "./${dir}/tests/flint_tests" --gtest_filter="${filter}"; then
+      record "${leg}" pass
+    else
+      record "${leg}" FAIL
+    fi
+  else
+    record "${leg}" "FAIL (build)"
+  fi
+}
+
+if [[ "${MODE}" == "--static" ]]; then
+  run_static
+  summary
 fi
 
-echo "== TSan: build (FLINT_SANITIZE=thread) =="
-cmake -B build-tsan -S . -DFLINT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target flint_tests
+run_tier1
 
-echo "== TSan: fault-injection storm + DFS fault tests =="
-./build-tsan/tests/flint_tests --gtest_filter='FaultInject*:DfsFault*'
+if [[ "${MODE}" == "--fast" ]]; then
+  record static "skipped (--fast)"
+  record tsan "skipped (--fast)"
+  record asan "skipped (--fast)"
+  record ubsan "skipped (--fast)"
+  summary
+fi
 
-echo "== ASan: build (FLINT_SANITIZE=address) =="
-cmake -B build-asan -S . -DFLINT_SANITIZE=address >/dev/null
-cmake --build build-asan -j "${JOBS}" --target flint_tests
+run_static
 
-echo "== ASan: checkpoint + DFS fault tests =="
-./build-asan/tests/flint_tests --gtest_filter='FtManagerTest*:CheckpointPolicyMath*:DfsFault*'
+# The TSan leg also runs the lock-order detector tests (Mutex*) and the storm
+# suite, whose fixture asserts the detector saw no cycle (FLINT_SANITIZE
+# builds define FLINT_MUTEX_DEBUG, so detection is on by default).
+run_sanitizer tsan thread build-tsan 'FaultInject*:DfsFault*:Mutex*'
+run_sanitizer asan address build-asan 'FtManagerTest*:CheckpointPolicyMath*:DfsFault*:Mutex*'
+run_sanitizer ubsan undefined build-ubsan 'FaultInject*:DfsFault*:FtManagerTest*:CheckpointPolicyMath*:Mutex*'
 
-echo "== all checks passed =="
+summary
