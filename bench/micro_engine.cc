@@ -10,6 +10,7 @@
 #include "src/checkpoint/checkpoint_policy.h"
 #include "src/engine/block_manager.h"
 #include "src/engine/typed_rdd.h"
+#include "src/engine/typed_rdd_ops.h"
 #include "src/trace/price_trace.h"
 #include "tests/test_util.h"
 
@@ -29,7 +30,80 @@ void BM_MapCollect(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_MapCollect)->Arg(1 << 14)->Arg(1 << 17);
+// Engine benchmarks use real time: the driver thread blocks while executor
+// pools do the work, so its CPU time says nothing about throughput.
+BENCHMARK(BM_MapCollect)->Arg(1 << 14)->Arg(1 << 17)->UseRealTime();
+
+// The fused/unfused pair tracks the narrow-chain hot path (fusion.h): the
+// same Map->Map->Filter->Count job with operator fusion on and off. The
+// tracked ratio (items/s) is the headline number for the fusion work; the
+// bench baseline gate (tools/check.sh --bench) watches both.
+void RunNarrowChain(benchmark::State& state, bool fusion) {
+  testing::EngineHarnessOptions options;
+  options.operator_fusion = fusion;
+  testing::EngineHarness h{options};
+  std::vector<int64_t> data(static_cast<size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = base.Map([](const int64_t& x) { return x * 3 + 1; })
+                   .Map([](const int64_t& x) { return x ^ (x >> 7); })
+                   .Filter([](const int64_t& x) { return (x & 1) == 0; })
+                   .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_NarrowChainFused(benchmark::State& state) { RunNarrowChain(state, true); }
+BENCHMARK(BM_NarrowChainFused)->Arg(1 << 20)->UseRealTime();
+
+void BM_NarrowChainUnfused(benchmark::State& state) { RunNarrowChain(state, false); }
+BENCHMARK(BM_NarrowChainUnfused)->Arg(1 << 20)->UseRealTime();
+
+// Sampled range-partitioned sort: the argument is num_output partitions, so
+// the sweep shows wall time dropping as the sort spreads across executors.
+void BM_SortBy(benchmark::State& state) {
+  testing::EngineHarnessOptions options;
+  options.executor_threads = 2;  // 4 nodes x 2 threads: real sort parallelism
+  testing::EngineHarness h{options};
+  Rng rng(42);
+  std::vector<int64_t> data(1 << 19);  // big enough that the local sorts dominate
+  for (auto& x : data) {
+    x = static_cast<int64_t>(rng.UniformInt(1u << 30));
+  }
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = SortBy(base, [](const int64_t& x) { return x; },
+                      static_cast<int>(state.range(0)))
+                   .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_SortBy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Reduce with the per-partition partial fold pushed down into the fused
+// chain: the driver only folds one partial per partition.
+void BM_Reduce(benchmark::State& state) {
+  testing::EngineHarness h;
+  std::vector<int64_t> data(static_cast<size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = base.Map([](const int64_t& x) { return x * 2; })
+                   .Reduce([](int64_t a, int64_t b) { return a + b; });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 17)->UseRealTime();
 
 void BM_ReduceByKey(benchmark::State& state) {
   testing::EngineHarness h;
@@ -47,7 +121,7 @@ void BM_ReduceByKey(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 16)->UseRealTime();
 
 void BM_BlockManagerPutGet(benchmark::State& state) {
   BlockManagerConfig config;
@@ -66,6 +140,36 @@ void BM_BlockManagerPutGet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BlockManagerPutGet);
+
+// Lock-striping contention: 4 threads hammer a shared BlockManager on
+// disjoint key ranges. Arg is num_shards; 1 serializes every access on one
+// mutex, 8 lets the threads proceed mostly independently.
+BlockManager* g_sharded_bm = nullptr;
+
+void BM_BlockManagerPutGetSharded(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    BlockManagerConfig config;
+    config.memory_budget_bytes = 64 * kMiB;
+    config.model_latency = false;
+    config.num_shards = static_cast<int>(state.range(0));
+    g_sharded_bm = new BlockManager(config);
+  }
+  std::vector<double> rows(4096);
+  PartitionPtr part = MakePartition(rows);
+  int i = 0;
+  for (auto _ : state) {
+    const BlockKey key{state.thread_index() + 2, i++ % 128};
+    bool stored = false;
+    g_sharded_bm->Put(key, part, &stored);
+    benchmark::DoNotOptimize(g_sharded_bm->Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_sharded_bm;
+    g_sharded_bm = nullptr;
+  }
+}
+BENCHMARK(BM_BlockManagerPutGetSharded)->Arg(1)->Arg(8)->Threads(4)->UseRealTime();
 
 void BM_BidStats(benchmark::State& state) {
   SyntheticTraceParams params;

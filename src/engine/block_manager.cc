@@ -1,10 +1,20 @@
 #include "src/engine/block_manager.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "src/common/units.h"
 
 namespace flint {
+
+BlockManager::BlockManager(BlockManagerConfig config) : config_(config) {
+  const size_t n = static_cast<size_t>(std::max(1, config_.num_shards));
+  shard_budget_bytes_ = config_.memory_budget_bytes / n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 void BlockManager::ChargeDisk(uint64_t bytes) const {
   if (!config_.model_latency || config_.disk_bandwidth_bytes_per_s <= 0.0) {
@@ -19,47 +29,48 @@ std::vector<BlockEviction> BlockManager::Put(const BlockKey& key, PartitionPtr d
   std::vector<BlockEviction> evictions;
   const uint64_t size = data->SizeBytes();
   uint64_t spill_bytes = 0;
+  Shard& shard = ShardFor(key);
   {
-    MutexLock lock(&mutex_);
-    if (size > config_.memory_budget_bytes) {
+    MutexLock lock(&shard.mutex);
+    if (size > shard_budget_bytes_) {
       if (stored != nullptr) {
         *stored = false;
       }
       return evictions;
     }
-    auto it = memory_.find(key);
-    if (it != memory_.end()) {
+    auto it = shard.memory.find(key);
+    if (it != shard.memory.end()) {
       // Refresh existing entry.
-      lru_.erase(it->second.lru_it);
-      lru_.push_front(key);
-      it->second.lru_it = lru_.begin();
+      shard.lru.erase(it->second.lru_it);
+      shard.lru.push_front(key);
+      it->second.lru_it = shard.lru.begin();
       it->second.data = std::move(data);
       if (stored != nullptr) {
         *stored = true;
       }
       return evictions;
     }
-    EvictLocked(size, &evictions);
-    lru_.push_front(key);
+    EvictShardLocked(shard, size, &evictions);
+    shard.lru.push_front(key);
     Entry entry;
     entry.data = std::move(data);
     entry.size = size;
-    entry.lru_it = lru_.begin();
-    memory_.emplace(key, std::move(entry));
-    memory_used_ += size;
-    auto sit = spill_.find(key);
-    if (sit != spill_.end()) {
-      spill_used_ -= sit->second->SizeBytes();
-      spill_.erase(sit);
+    entry.lru_it = shard.lru.begin();
+    shard.memory.emplace(key, std::move(entry));
+    shard.memory_used += size;
+    auto sit = shard.spill.find(key);
+    if (sit != shard.spill.end()) {
+      shard.spill_used -= sit->second->SizeBytes();
+      shard.spill.erase(sit);
     }
     if (stored != nullptr) {
       *stored = true;
     }
     for (const auto& ev : evictions) {
       if (ev.spilled) {
-        auto sit = spill_.find(ev.key);
-        if (sit != spill_.end()) {
-          spill_bytes += sit->second->SizeBytes();
+        auto evit = shard.spill.find(ev.key);
+        if (evit != shard.spill.end()) {
+          spill_bytes += evit->second->SizeBytes();
         }
       }
     }
@@ -71,40 +82,42 @@ std::vector<BlockEviction> BlockManager::Put(const BlockKey& key, PartitionPtr d
   return evictions;
 }
 
-void BlockManager::EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions) {
-  while (memory_used_ + needed > config_.memory_budget_bytes && !lru_.empty()) {
-    const BlockKey victim = lru_.back();
-    lru_.pop_back();
-    auto it = memory_.find(victim);
-    if (it == memory_.end()) {
+void BlockManager::EvictShardLocked(Shard& shard, uint64_t needed,
+                                    std::vector<BlockEviction>* evictions) {
+  while (shard.memory_used + needed > shard_budget_bytes_ && !shard.lru.empty()) {
+    const BlockKey victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.memory.find(victim);
+    if (it == shard.memory.end()) {
       continue;
     }
-    memory_used_ -= it->second.size;
+    shard.memory_used -= it->second.size;
     BlockEviction ev;
     ev.key = victim;
     if (config_.eviction == EvictionMode::kSpill) {
       ev.spilled = true;
-      spill_used_ += it->second.size;
-      spill_[victim] = std::move(it->second.data);
+      shard.spill_used += it->second.size;
+      shard.spill[victim] = std::move(it->second.data);
     }
-    memory_.erase(it);
+    shard.memory.erase(it);
     evictions->push_back(ev);
   }
 }
 
 PartitionPtr BlockManager::Get(const BlockKey& key) {
   PartitionPtr from_spill;
+  Shard& shard = ShardFor(key);
   {
-    MutexLock lock(&mutex_);
-    auto it = memory_.find(key);
-    if (it != memory_.end()) {
-      lru_.erase(it->second.lru_it);
-      lru_.push_front(key);
-      it->second.lru_it = lru_.begin();
+    MutexLock lock(&shard.mutex);
+    auto it = shard.memory.find(key);
+    if (it != shard.memory.end()) {
+      shard.lru.erase(it->second.lru_it);
+      shard.lru.push_front(key);
+      it->second.lru_it = shard.lru.begin();
       return it->second.data;
     }
-    auto sit = spill_.find(key);
-    if (sit == spill_.end()) {
+    auto sit = shard.spill.find(key);
+    if (sit == shard.spill.end()) {
       return nullptr;
     }
     from_spill = sit->second;
@@ -117,52 +130,72 @@ PartitionPtr BlockManager::Get(const BlockKey& key) {
 }
 
 bool BlockManager::Contains(const BlockKey& key) const {
-  ReaderMutexLock lock(&mutex_);
-  return memory_.count(key) > 0 || spill_.count(key) > 0;
+  Shard& shard = ShardFor(key);
+  ReaderMutexLock lock(&shard.mutex);
+  return shard.memory.count(key) > 0 || shard.spill.count(key) > 0;
 }
 
 void BlockManager::Erase(const BlockKey& key) {
-  MutexLock lock(&mutex_);
-  auto it = memory_.find(key);
-  if (it != memory_.end()) {
-    memory_used_ -= it->second.size;
-    lru_.erase(it->second.lru_it);
-    memory_.erase(it);
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mutex);
+  auto it = shard.memory.find(key);
+  if (it != shard.memory.end()) {
+    shard.memory_used -= it->second.size;
+    shard.lru.erase(it->second.lru_it);
+    shard.memory.erase(it);
   }
-  auto sit = spill_.find(key);
-  if (sit != spill_.end()) {
-    spill_used_ -= sit->second->SizeBytes();
-    spill_.erase(sit);
+  auto sit = shard.spill.find(key);
+  if (sit != shard.spill.end()) {
+    shard.spill_used -= sit->second->SizeBytes();
+    shard.spill.erase(sit);
   }
 }
 
 void BlockManager::Clear() {
-  MutexLock lock(&mutex_);
-  memory_.clear();
-  spill_.clear();
-  lru_.clear();
-  memory_used_ = 0;
-  spill_used_ = 0;
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mutex);
+    shard->memory.clear();
+    shard->spill.clear();
+    shard->lru.clear();
+    shard->memory_used = 0;
+    shard->spill_used = 0;
+  }
 }
 
 uint64_t BlockManager::memory_used() const {
-  ReaderMutexLock lock(&mutex_);
-  return memory_used_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    ReaderMutexLock lock(&shard->mutex);
+    total += shard->memory_used;
+  }
+  return total;
 }
 
 uint64_t BlockManager::spill_used() const {
-  ReaderMutexLock lock(&mutex_);
-  return spill_used_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    ReaderMutexLock lock(&shard->mutex);
+    total += shard->spill_used;
+  }
+  return total;
 }
 
 size_t BlockManager::num_memory_blocks() const {
-  ReaderMutexLock lock(&mutex_);
-  return memory_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReaderMutexLock lock(&shard->mutex);
+    total += shard->memory.size();
+  }
+  return total;
 }
 
 size_t BlockManager::num_spill_blocks() const {
-  ReaderMutexLock lock(&mutex_);
-  return spill_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReaderMutexLock lock(&shard->mutex);
+    total += shard->spill.size();
+  }
+  return total;
 }
 
 }  // namespace flint

@@ -3,12 +3,19 @@
 // EC2 instance storage). One BlockManager exists per live node; the
 // cluster-wide index of which node caches which partition lives in
 // FlintContext's BlockRegistry.
+//
+// The cache is striped into `num_shards` independently locked shards (each
+// with budget/num_shards of the memory budget and its own LRU list) so
+// concurrent executor threads touching different blocks do not serialize on
+// one mutex; GetMutexStats() on "BlockManager::shard_mutex_" shows the
+// contention. num_shards = 1 restores the single-lock, single-LRU behaviour.
 
 #ifndef SRC_ENGINE_BLOCK_MANAGER_H_
 #define SRC_ENGINE_BLOCK_MANAGER_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -30,7 +37,16 @@ struct BlockKey {
 
 struct BlockKeyHash {
   size_t operator()(const BlockKey& k) const {
-    return std::hash<int>()(k.rdd_id) * 1000003u + std::hash<int>()(k.partition);
+    // splitmix64 finalizer over both ints. rdd_id and partition are small
+    // sequential values; a multiplicative combine clusters them badly across
+    // both hash-table buckets and cache shards, so mix all 64 bits.
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(k.rdd_id)) << 32) |
+                 static_cast<uint64_t>(static_cast<uint32_t>(k.partition));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
   }
 };
 
@@ -47,6 +63,10 @@ struct BlockManagerConfig {
   // storage). Reads from spilled blocks sleep size/bandwidth.
   double disk_bandwidth_bytes_per_s = 400.0 * kMiB;
   bool model_latency = true;
+  // Lock striping (clamped to >= 1). Each shard owns budget/num_shards bytes
+  // and evicts independently, so the aggregate memory_used() never exceeds
+  // the total budget but a single shard may evict while others have room.
+  int num_shards = 8;
 };
 
 struct BlockEviction {
@@ -56,12 +76,12 @@ struct BlockEviction {
 
 class BlockManager {
  public:
-  explicit BlockManager(BlockManagerConfig config) : config_(config) {}
+  explicit BlockManager(BlockManagerConfig config);
 
-  // Inserts a block, evicting LRU blocks if needed. Returns the evictions
-  // performed so the caller can update the cluster-wide registry. Blocks
-  // larger than the whole budget are not cached at all (key is returned as a
-  // drop so callers see a consistent "not stored" signal via found=false).
+  // Inserts a block, evicting LRU blocks of its shard if needed. Returns the
+  // evictions performed so the caller can update the cluster-wide registry.
+  // Blocks larger than the shard budget are not cached at all (the caller
+  // sees a consistent "not stored" signal via *stored = false).
   std::vector<BlockEviction> Put(const BlockKey& key, PartitionPtr data, bool* stored);
 
   // Fetches a block from memory, or from local spill (paying the modelled
@@ -72,10 +92,12 @@ class BlockManager {
   void Erase(const BlockKey& key);
   void Clear();
 
+  // Aggregates across shards; each is a consistent per-shard snapshot.
   uint64_t memory_used() const;
   uint64_t spill_used() const;
   size_t num_memory_blocks() const;
   size_t num_spill_blocks() const;
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -84,17 +106,27 @@ class BlockManager {
     std::list<BlockKey>::iterator lru_it;
   };
 
-  // Evicts until `needed` bytes fit.
-  void EvictLocked(uint64_t needed, std::vector<BlockEviction>* evictions) REQUIRES(mutex_);
+  struct Shard {
+    mutable Mutex mutex{"BlockManager::shard_mutex_"};
+    std::unordered_map<BlockKey, Entry, BlockKeyHash> memory GUARDED_BY(mutex);
+    std::unordered_map<BlockKey, PartitionPtr, BlockKeyHash> spill GUARDED_BY(mutex);
+    std::list<BlockKey> lru GUARDED_BY(mutex);  // front = most recent
+    uint64_t memory_used GUARDED_BY(mutex) = 0;
+    uint64_t spill_used GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& ShardFor(const BlockKey& key) const {
+    return *shards_[BlockKeyHash()(key) % shards_.size()];
+  }
+
+  // Evicts from `shard` until `needed` bytes fit its budget.
+  void EvictShardLocked(Shard& shard, uint64_t needed, std::vector<BlockEviction>* evictions)
+      REQUIRES(shard.mutex);
   void ChargeDisk(uint64_t bytes) const;
 
   BlockManagerConfig config_;
-  mutable Mutex mutex_{"BlockManager::mutex_"};
-  std::unordered_map<BlockKey, Entry, BlockKeyHash> memory_ GUARDED_BY(mutex_);
-  std::unordered_map<BlockKey, PartitionPtr, BlockKeyHash> spill_ GUARDED_BY(mutex_);
-  std::list<BlockKey> lru_ GUARDED_BY(mutex_);  // front = most recent
-  uint64_t memory_used_ GUARDED_BY(mutex_) = 0;
-  uint64_t spill_used_ GUARDED_BY(mutex_) = 0;
+  uint64_t shard_budget_bytes_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace flint

@@ -95,6 +95,12 @@ Result<std::vector<PartitionPtr>> FlintContext::Materialize(const RddPtr& rdd) {
   return scheduler_->Materialize(rdd);
 }
 
+Result<std::vector<PartitionPtr>> FlintContext::MaterializePartitions(
+    const RddPtr& rdd, const std::vector<int>& partitions) {
+  MutexLock job_lock(&job_mutex_);
+  return scheduler_->MaterializePartitions(rdd, partitions);
+}
+
 // --- block registry ---
 
 PartitionPtr FlintContext::LookupBlock(const BlockKey& key, NodeId local) {

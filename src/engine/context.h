@@ -42,6 +42,11 @@ struct EngineConfig {
   // pay bytes/bandwidth on top of generation compute.
   double origin_read_bandwidth_bytes_per_s = 48.0 * kMiB;
   bool model_latency = true;
+  // Narrow-chain operator fusion (see fusion.h / DESIGN.md "Execution hot
+  // path"): chains of streaming one-to-one operators execute as one task
+  // without materializing intermediate partitions. Off switches every task
+  // back to per-level Compute, which benchmarks and differential tests use.
+  bool operator_fusion = true;
   // Backoff/deadline applied to every checkpoint Put (partition objects and
   // manifests) and to verified restore reads. Transient DFS failures retry
   // inside this budget; exhausting it abandons the write (the FT manager's
@@ -70,6 +75,9 @@ struct EngineCounters {
   std::atomic<int64_t> acquisition_wait_nanos{0};  // scheduler stalls with zero live nodes
   std::atomic<uint64_t> stage_rounds{0};  // dispatch rounds across all stage loops
   std::atomic<uint64_t> stage_parks{0};   // rounds where every submission was rejected
+  // Operator-fusion accounting (narrow-chain streaming, see fusion.h):
+  std::atomic<uint64_t> fused_chains{0};             // fused chain executions
+  std::atomic<uint64_t> fused_operators_elided{0};   // intermediate partitions not built
 };
 
 // Engine-side state of one node. Retired (revoked) nodes are kept until
@@ -114,6 +122,12 @@ class FlintContext : public ClusterListener {
   // Computes every partition of `rdd` (running all required shuffle stages),
   // returning them in partition order. Thread-safe; jobs are serialized.
   Result<std::vector<PartitionPtr>> Materialize(const RddPtr& rdd);
+
+  // Computes only the listed partitions of `rdd` (each in range, no
+  // duplicates), returning them in the order given. Powers incremental
+  // actions like Take that stop before materializing the whole RDD.
+  Result<std::vector<PartitionPtr>> MaterializePartitions(const RddPtr& rdd,
+                                                          const std::vector<int>& partitions);
 
   // --- block registry (cluster-wide cache index) ---
   // Looks the block up anywhere in the cluster; charges a remote-fetch delay

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -232,12 +233,35 @@ Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
   if (rdd == nullptr) {
     return InvalidArgument("null rdd");
   }
+  std::vector<int> all(static_cast<size_t>(rdd->num_partitions()));
+  std::iota(all.begin(), all.end(), 0);
+  return MaterializePartitions(rdd, all);
+}
+
+Result<std::vector<PartitionPtr>> DagScheduler::MaterializePartitions(
+    const RddPtr& rdd, const std::vector<int>& partitions) {
+  if (rdd == nullptr) {
+    return InvalidArgument("null rdd");
+  }
+  std::unordered_set<int> seen;
+  for (int p : partitions) {
+    if (p < 0 || p >= rdd->num_partitions()) {
+      return InvalidArgument("partition " + std::to_string(p) + " out of range for rdd " +
+                             rdd->name());
+    }
+    if (!seen.insert(p).second) {
+      return InvalidArgument("duplicate partition " + std::to_string(p) + " requested for rdd " +
+                             rdd->name());
+    }
+  }
   FLINT_RETURN_IF_ERROR(EnsureShuffleDeps(rdd, 0));
 
-  const int n = rdd->num_partitions();
-  std::vector<PartitionPtr> results(static_cast<size_t>(n));
-  std::vector<bool> done(static_cast<size_t>(n), false);
-  int remaining = n;
+  // Outcome indices are slots into `partitions`, not partition numbers, so
+  // the result vector mirrors the request order.
+  const size_t n = partitions.size();
+  std::vector<PartitionPtr> results(n);
+  std::vector<bool> done(n, false);
+  size_t remaining = n;
 
   StageLoopSpec spec;
   spec.what = "result stage";
@@ -245,21 +269,22 @@ Result<std::vector<PartitionPtr>> DagScheduler::Materialize(const RddPtr& rdd) {
   spec.recovery_depth = 0;
   spec.complete = [&remaining] { return remaining == 0; };
   spec.prepare = [] { return Status::Ok(); };  // deps ensured above; losses recover below
-  spec.dispatch = [this, &rdd, &done, n](OutcomeQueue& outcomes) {
+  spec.dispatch = [this, &rdd, &partitions, &done, n](OutcomeQueue& outcomes) {
     size_t in_flight = 0;
-    for (int p = 0; p < n; ++p) {
-      if (done[static_cast<size_t>(p)]) {
+    for (size_t s = 0; s < n; ++s) {
+      if (done[s]) {
         continue;
       }
+      const int p = partitions[s];
       std::shared_ptr<NodeState> node = PickNode(rdd, p);
       if (node == nullptr) {
         break;  // nothing schedulable; the stage loop parks on WaitForLiveNode
       }
       ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
-      const bool queued = node->pool->Submit([this, node, rdd, p, &outcomes] {
+      const bool queued = node->pool->Submit([this, node, rdd, s, p, &outcomes] {
         TaskContext tc(ctx_, node);
         TaskOutcome outcome;
-        outcome.index = p;
+        outcome.index = static_cast<int>(s);
         Result<PartitionPtr> data = tc.GetPartition(rdd, p);
         if (data.ok()) {
           outcome.status = Status::Ok();

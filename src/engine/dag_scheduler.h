@@ -30,6 +30,12 @@ class DagScheduler {
   // Computes all partitions of `rdd`, in order. Serialized by the caller.
   Result<std::vector<PartitionPtr>> Materialize(const RddPtr& rdd);
 
+  // Computes only the listed partitions (each in range, no duplicates),
+  // returning them in the order given. Materialize delegates here with the
+  // full 0..n-1 range; Take drives it incrementally.
+  Result<std::vector<PartitionPtr>> MaterializePartitions(const RddPtr& rdd,
+                                                          const std::vector<int>& partitions);
+
   // Outcome of one dispatched task (public so the completion queue in the
   // implementation file can carry it).
   struct TaskOutcome {

@@ -12,9 +12,21 @@ Rdd::Rdd(FlintContext* ctx, std::string name, int num_partitions, std::vector<De
       id_(ctx->NextRddId()),
       name_(std::move(name)),
       num_partitions_(num_partitions),
-      deps_(std::move(deps)) {}
+      deps_(std::move(deps)) {
+  for (const auto& dep : deps_) {
+    if (dep.parent != nullptr) {
+      dep.parent->consumers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
 
-Rdd::~Rdd() = default;
+Rdd::~Rdd() {
+  for (const auto& dep : deps_) {
+    if (dep.parent != nullptr) {
+      dep.parent->consumers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
 
 bool Rdd::is_shuffle_output() const {
   for (const auto& dep : deps_) {

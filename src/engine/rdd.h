@@ -19,6 +19,7 @@ namespace flint {
 class FlintContext;
 class TaskContext;
 class Rdd;
+struct FusionOps;  // src/engine/fusion.h
 using RddPtr = std::shared_ptr<Rdd>;
 
 // Map-side bucketer of a shuffle: splits one parent partition into
@@ -78,6 +79,19 @@ class Rdd : public std::enable_shared_from_this<Rdd> {
   bool should_cache() const { return cache_.load(std::memory_order_relaxed); }
   void set_cache(bool v) { cache_.store(v, std::memory_order_relaxed); }
 
+  // Record-streaming fusion surface (see fusion.h). Null for operators that
+  // cannot stream (sources, shuffle consumers, vector-level ops). Set once on
+  // the driver thread immediately after construction, before the RDD can
+  // reach an executor, so no synchronization is needed on the pointer.
+  const FusionOps* fusion_ops() const { return fusion_ops_.get(); }
+  void set_fusion_ops(std::shared_ptr<const FusionOps> ops) { fusion_ops_ = std::move(ops); }
+
+  // Number of live RDDs depending on this one (narrow or shuffle). A child
+  // increments its parents' counts at construction and decrements them at
+  // destruction. Fusion refuses to stream *through* an RDD with more than one
+  // live consumer: eliding its output would recompute it once per consumer.
+  int consumer_count() const { return consumers_.load(std::memory_order_acquire); }
+
   CheckpointState checkpoint_state() const { return state_.load(std::memory_order_acquire); }
   // kNone -> kMarked. Returns false if already marked/saved.
   bool MarkForCheckpoint();
@@ -99,8 +113,10 @@ class Rdd : public std::enable_shared_from_this<Rdd> {
   std::string name_;
   int num_partitions_;
   std::vector<Dependency> deps_;
+  std::shared_ptr<const FusionOps> fusion_ops_;
   std::atomic<bool> cache_{false};
   std::atomic<CheckpointState> state_{CheckpointState::kNone};
+  std::atomic<int> consumers_{0};
 };
 
 // Walks narrow dependencies transitively and returns the set of shuffle

@@ -1,10 +1,28 @@
 #include "src/engine/task_context.h"
 
 #include <chrono>
+#include <vector>
 
 #include "src/common/log.h"
+#include "src/engine/fusion.h"
 
 namespace flint {
+
+namespace {
+
+// True if `rdd` can be elided as an intermediate of a fused chain: a
+// streaming operator over exactly one narrow parent whose output nothing
+// else needs — not cached, not checkpoint-marked, and no other live
+// consumer. (A cached/marked/shared intermediate must be materialized on its
+// own so the cache, the checkpoint writer, or the other consumer sees it.)
+bool FusableIntermediate(const RddPtr& rdd) {
+  return rdd->fusion_ops() != nullptr && rdd->deps().size() == 1 &&
+         rdd->deps()[0].type == DepType::kNarrowOneToOne && rdd->deps()[0].parent != nullptr &&
+         !rdd->should_cache() && rdd->checkpoint_state() == CheckpointState::kNone &&
+         rdd->consumer_count() <= 1;
+}
+
+}  // namespace
 
 Result<PartitionPtr> TaskContext::GetPartition(const RddPtr& rdd, int partition) {
   if (Cancelled()) {
@@ -39,9 +57,9 @@ Result<PartitionPtr> TaskContext::GetPartition(const RddPtr& rdd, int partition)
     }
   }
 
-  // 3. Recompute from lineage.
+  // 3. Recompute from lineage (fused when the chain allows it).
   const auto t0 = WallClock::now();
-  Result<PartitionPtr> computed = rdd->Compute(partition, *this);
+  Result<PartitionPtr> computed = ComputeFromLineage(rdd, partition);
   if (!computed.ok()) {
     return computed.status();
   }
@@ -65,6 +83,53 @@ Result<PartitionPtr> TaskContext::GetPartition(const RddPtr& rdd, int partition)
     (void)ctx_->WriteCheckpointData(rdd, partition, data);
   }
   return data;
+}
+
+Result<PartitionPtr> TaskContext::ComputeFromLineage(const RddPtr& rdd, int partition) {
+  // The chain head itself must be a streaming operator over one narrow
+  // parent; its own cache/checkpoint/consumer state is irrelevant (the head's
+  // output IS materialized — GetPartition handles storing it).
+  if (!ctx_->config().operator_fusion || rdd->fusion_ops() == nullptr ||
+      rdd->deps().size() != 1 || rdd->deps()[0].type != DepType::kNarrowOneToOne ||
+      rdd->deps()[0].parent == nullptr) {
+    return rdd->Compute(partition, *this);
+  }
+  // chain[0] = head; extend downward through transparent intermediates until
+  // a barrier: a source, shuffle consumer, cached/marked RDD, or one with
+  // another live consumer.
+  std::vector<RddPtr> chain{rdd};
+  RddPtr barrier = rdd->deps()[0].parent;
+  while (FusableIntermediate(barrier)) {
+    chain.push_back(barrier);
+    barrier = barrier->deps()[0].parent;
+  }
+  if (chain.size() == 1) {
+    return rdd->Compute(partition, *this);  // nothing to elide
+  }
+
+  // Materialize the barrier input through the regular path (cluster cache,
+  // checkpoint restore, recursive lineage — possibly another fused chain
+  // below the barrier), then stream it through the composed operators.
+  FLINT_ASSIGN_OR_RETURN(PartitionPtr input, GetPartition(barrier, partition));
+
+  // Sinks compose top-down: the head's adapter feeds the terminal, each
+  // deeper operator's adapter feeds the one above, and the bottom operator
+  // drives the barrier rows through the whole stack (and issues the single
+  // Flush sweep).
+  FusionTerminal terminal = chain.front()->fusion_ops()->make_terminal();
+  FusionSink* down = terminal.sink.get();
+  std::vector<std::unique_ptr<FusionSink>> adapters;
+  adapters.reserve(chain.size() - 1);
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    adapters.push_back(chain[i]->fusion_ops()->adapt(partition, *down));
+    down = adapters.back().get();
+  }
+  chain.back()->fusion_ops()->drive(partition, *input, *down);
+
+  EngineCounters& counters = ctx_->counters();
+  counters.fused_chains.fetch_add(1, std::memory_order_relaxed);
+  counters.fused_operators_elided.fetch_add(chain.size() - 1, std::memory_order_relaxed);
+  return terminal.finish();
 }
 
 Result<std::vector<PartitionPtr>> TaskContext::FetchShuffle(int shuffle_id, int reduce_part) {

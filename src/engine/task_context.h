@@ -40,6 +40,15 @@ class TaskContext {
   FlintContext* ctx_;
   std::shared_ptr<NodeState> node_;
   int failed_shuffle_ = -1;
+
+  // Step 3 of GetPartition: recompute (rdd, partition) from lineage. When
+  // `rdd` heads a chain of streaming one-to-one operators whose intermediates
+  // are uncached, unmarked, and single-consumer, the whole chain runs as one
+  // fused task streaming records through composed sinks (fusion.h); otherwise
+  // falls back to rdd->Compute. Fusion breaks at cache, checkpoint, shuffle,
+  // and multi-consumer boundaries, where the regular materialization order
+  // (cache -> checkpoint -> recursion) takes over for the barrier input.
+  Result<PartitionPtr> ComputeFromLineage(const RddPtr& rdd, int partition);
 };
 
 }  // namespace flint

@@ -19,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/context.h"
+#include "src/engine/fusion.h"
 #include "src/engine/hashing.h"
 #include "src/engine/task_context.h"
 
@@ -72,6 +73,7 @@ class TypedRdd {
           }
           return MakePartition(std::move(result));
         });
+    out->set_fusion_ops(fusion_internal::MakeMapFusionOps<T, U>(fn));
     return TypedRdd<U>(ctx_, std::move(out));
   }
 
@@ -91,6 +93,7 @@ class TypedRdd {
           }
           return MakePartition(std::move(result));
         });
+    out->set_fusion_ops(fusion_internal::MakeFilterFusionOps<T>(pred));
     return TypedRdd<T>(ctx_, std::move(out));
   }
 
@@ -129,6 +132,7 @@ class TypedRdd {
           }
           return MakePartition(std::move(result));
         });
+    out->set_fusion_ops(fusion_internal::MakeFlatMapFusionOps<T, U>(fn));
     return TypedRdd<U>(ctx_, std::move(out));
   }
 
@@ -136,7 +140,12 @@ class TypedRdd {
 
   Result<std::vector<T>> Collect() const {
     FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> parts, ctx_->Materialize(rdd_));
+    size_t total = 0;
+    for (const auto& p : parts) {
+      total += p->NumRecords();
+    }
     std::vector<T> out;
+    out.reserve(total);
     for (const auto& p : parts) {
       const auto& rows = Rows<T>(*p);
       out.insert(out.end(), rows.begin(), rows.end());
@@ -153,15 +162,38 @@ class TypedRdd {
     return n;
   }
 
+  // `fn` must be associative: each partition folds to at most one partial
+  // value on its executor, and the driver folds the partials in partition
+  // order — so only associativity (not commutativity) is required, and the
+  // result matches a left fold over the concatenated partitions exactly.
   template <typename F>
   Result<T> Reduce(F fn) const {
-    FLINT_ASSIGN_OR_RETURN(std::vector<T> rows, Collect());
-    if (rows.empty()) {
+    RddPtr parent = rdd_;
+    RddPtr partial = ctx_->CreateRdd(
+        "reduce-partial", parent->num_partitions(),
+        {Dependency{DepType::kNarrowOneToOne, parent, nullptr}},
+        [parent, fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
+          FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(parent, i));
+          const auto& rows = Rows<T>(*in);
+          std::vector<T> out;
+          if (!rows.empty()) {
+            T acc = rows.front();
+            for (size_t j = 1; j < rows.size(); ++j) {
+              acc = fn(acc, rows[j]);
+            }
+            out.push_back(std::move(acc));
+          }
+          return MakePartition(std::move(out));
+        });
+    partial->set_fusion_ops(fusion_internal::MakeFoldFusionOps<T, F>(fn));
+    FLINT_ASSIGN_OR_RETURN(std::vector<T> partials,
+                           TypedRdd<T>(ctx_, std::move(partial)).Collect());
+    if (partials.empty()) {
       return FailedPrecondition("Reduce on empty RDD");
     }
-    T acc = std::move(rows.front());
-    for (size_t i = 1; i < rows.size(); ++i) {
-      acc = fn(acc, rows[i]);
+    T acc = std::move(partials.front());
+    for (size_t i = 1; i < partials.size(); ++i) {
+      acc = fn(acc, partials[i]);
     }
     return acc;
   }
@@ -224,8 +256,15 @@ namespace rdd_internal {
 template <typename K, typename V>
 ShuffleBucketer MakePlainBucketer() {
   return [](const PartitionData& p, int num_buckets) {
+    const auto& rows = Rows<std::pair<K, V>>(p);
     std::vector<std::vector<std::pair<K, V>>> buckets(static_cast<size_t>(num_buckets));
-    for (const auto& kv : Rows<std::pair<K, V>>(p)) {
+    // A uniform hash puts ~rows/buckets records in each bucket; reserving
+    // that up front avoids the per-bucket reallocation churn.
+    const size_t expect = rows.size() / static_cast<size_t>(num_buckets) + 1;
+    for (auto& b : buckets) {
+      b.reserve(expect);
+    }
+    for (const auto& kv : rows) {
       buckets[HashOf(kv.first) % static_cast<size_t>(num_buckets)].push_back(kv);
     }
     std::vector<PartitionPtr> out;
@@ -237,9 +276,8 @@ ShuffleBucketer MakePlainBucketer() {
   };
 }
 
-template <typename K, typename V>
-std::shared_ptr<ShuffleInfo> MakeShuffle(FlintContext* ctx, const RddPtr& map_side,
-                                         int num_reduce, ShuffleBucketer bucketer) {
+inline std::shared_ptr<ShuffleInfo> MakeShuffle(FlintContext* ctx, const RddPtr& map_side,
+                                                int num_reduce, ShuffleBucketer bucketer) {
   auto info = std::make_shared<ShuffleInfo>();
   info->shuffle_id = ctx->NextShuffleId();
   info->num_map_partitions = map_side->num_partitions();
@@ -276,7 +314,7 @@ PairRdd<K, V> ReduceByKey(const PairRdd<K, V>& parent, int num_reduce, Combine c
     }
     return out;
   };
-  auto info = rdd_internal::MakeShuffle<K, V>(ctx, parent.raw(), num_reduce, std::move(bucketer));
+  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_reduce, std::move(bucketer));
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
       [info, combine](int j, TaskContext& tc) -> Result<PartitionPtr> {
@@ -305,7 +343,7 @@ template <typename K, typename V>
 PairRdd<K, std::vector<V>> GroupByKey(const PairRdd<K, V>& parent, int num_reduce,
                                       std::string name = "groupByKey") {
   FlintContext* ctx = parent.ctx();
-  auto info = rdd_internal::MakeShuffle<K, V>(ctx, parent.raw(), num_reduce,
+  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_reduce,
                                               rdd_internal::MakePlainBucketer<K, V>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
@@ -336,9 +374,9 @@ template <typename K, typename V, typename W>
 PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, V>& left, const PairRdd<K, W>& right,
                                  int num_reduce, std::string name = "join") {
   FlintContext* ctx = left.ctx();
-  auto left_info = rdd_internal::MakeShuffle<K, V>(ctx, left.raw(), num_reduce,
+  auto left_info = rdd_internal::MakeShuffle(ctx, left.raw(), num_reduce,
                                                    rdd_internal::MakePlainBucketer<K, V>());
-  auto right_info = rdd_internal::MakeShuffle<K, W>(ctx, right.raw(), num_reduce,
+  auto right_info = rdd_internal::MakeShuffle(ctx, right.raw(), num_reduce,
                                                     rdd_internal::MakePlainBucketer<K, W>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce,

@@ -67,35 +67,100 @@ TypedRdd<T> Sample(const TypedRdd<T>& parent, double fraction, uint64_t seed,
         }
         return MakePartition(std::move(rows));
       });
+  out->set_fusion_ops(fusion_internal::MakeSampleFusionOps<T>(fraction, seed));
   return TypedRdd<T>(parent.ctx(), std::move(out));
 }
 
-// Globally sorts by `key_fn` via a single-reducer shuffle followed by a
-// per-range split. For the data sizes this engine targets, a one-pass total
-// sort (range partition by sampled splitters) is overkill; we shuffle
-// everything to `num_output` partitions by key-range using driver-free
-// quantile estimation on the map side hash — implemented here as the simple
-// and correct variant: one sort partition, then re-split round-robin.
+// Globally sorts by `key_fn` into `num_output` range partitions (0 = inherit
+// the parent's partition count), Spark RangePartitioner-style:
+//
+//   1. An eager sample job takes up to 32 evenly spaced keys per parent
+//      partition and the driver picks num_output-1 quantile splitters.
+//   2. One shuffle range-partitions every row by upper_bound over the
+//      splitters, so partition j holds keys in (s_{j-1}, s_j] and equal keys
+//      never straddle a boundary.
+//   3. Each reduce partition concatenates its buckets (map-partition order)
+//      and stable_sorts by key.
+//
+// The result read in partition order is globally sorted, and — because the
+// bucket concatenation order and stable_sort preserve the (map partition,
+// row index) order of ties — bit-identical across num_output choices. Should
+// the sample job fail (e.g. the cluster is mid-storm), the splitter set
+// degrades to empty: everything lands in partition 0, which is the old
+// single-reducer behaviour, still correct.
 template <typename T, typename KeyFn>
-TypedRdd<T> SortBy(const TypedRdd<T>& parent, KeyFn key_fn, std::string name = "sortBy") {
-  // Shuffle all rows into one bucket, sort there.
-  auto keyed = parent.Map([](const T& t) { return std::make_pair(0, t); }, name + "-key");
-  auto grouped = GroupByKey(keyed, /*num_reduce=*/1, name + "-gather");
-  RddPtr g = grouped.raw();
-  RddPtr out = parent.ctx()->CreateRdd(
-      name, 1, {Dependency{DepType::kNarrowOneToOne, g, nullptr}},
-      [g, key_fn](int i, TaskContext& tc) -> Result<PartitionPtr> {
-        FLINT_ASSIGN_OR_RETURN(PartitionPtr in, tc.GetPartition(g, i));
-        std::vector<T> rows;
-        const auto& groups = Rows<std::pair<int, std::vector<T>>>(*in);
-        for (const auto& [k, vs] : groups) {
-          rows.insert(rows.end(), vs.begin(), vs.end());
+TypedRdd<T> SortBy(const TypedRdd<T>& parent, KeyFn key_fn, int num_output = 0,
+                   std::string name = "sortBy") {
+  using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+  FlintContext* ctx = parent.ctx();
+  if (num_output <= 0) {
+    num_output = parent.num_partitions();
+  }
+  auto splitters = std::make_shared<std::vector<K>>();
+  if (num_output > 1) {
+    auto sample = parent.MapPartitions(
+        [key_fn](const std::vector<T>& rows) {
+          std::vector<K> keys;
+          const size_t take = std::min<size_t>(rows.size(), 32);
+          keys.reserve(take);
+          for (size_t i = 0; i < take; ++i) {
+            keys.push_back(key_fn(rows[i * rows.size() / take]));
+          }
+          return keys;
+        },
+        name + "-sample");
+    auto sampled = sample.Collect();
+    if (sampled.ok() && !sampled->empty()) {
+      std::sort(sampled->begin(), sampled->end());
+      splitters->reserve(static_cast<size_t>(num_output) - 1);
+      for (int b = 1; b < num_output; ++b) {
+        splitters->push_back(
+            (*sampled)[static_cast<size_t>(b) * sampled->size() / static_cast<size_t>(num_output)]);
+      }
+    }
+  }
+  ShuffleBucketer bucketer = [key_fn, splitters](const PartitionData& p, int num_buckets) {
+    const auto& rows = Rows<T>(p);
+    std::vector<std::vector<T>> buckets(static_cast<size_t>(num_buckets));
+    for (auto& b : buckets) {
+      b.reserve(rows.size() / static_cast<size_t>(num_buckets) + 1);
+    }
+    for (const T& r : rows) {
+      size_t idx = static_cast<size_t>(
+          std::upper_bound(splitters->begin(), splitters->end(), key_fn(r)) - splitters->begin());
+      if (idx >= static_cast<size_t>(num_buckets)) {
+        idx = static_cast<size_t>(num_buckets) - 1;
+      }
+      buckets[idx].push_back(r);
+    }
+    std::vector<PartitionPtr> out;
+    out.reserve(buckets.size());
+    for (auto& b : buckets) {
+      out.push_back(MakePartition(std::move(b)));
+    }
+    return out;
+  };
+  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_output, std::move(bucketer));
+  RddPtr out = ctx->CreateRdd(
+      std::move(name), num_output, {Dependency{DepType::kShuffle, parent.raw(), info}},
+      [info, key_fn](int j, TaskContext& tc) -> Result<PartitionPtr> {
+        FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> buckets,
+                               tc.FetchShuffle(info->shuffle_id, j));
+        size_t total = 0;
+        for (const auto& b : buckets) {
+          total += b->NumRecords();
         }
-        std::sort(rows.begin(), rows.end(),
-                  [&key_fn](const T& a, const T& b) { return key_fn(a) < key_fn(b); });
+        std::vector<T> rows;
+        rows.reserve(total);
+        for (const auto& b : buckets) {
+          const auto& br = Rows<T>(*b);
+          rows.insert(rows.end(), br.begin(), br.end());
+        }
+        std::stable_sort(rows.begin(), rows.end(),
+                         [key_fn](const T& a, const T& b) { return key_fn(a) < key_fn(b); });
         return MakePartition(std::move(rows));
       });
-  return TypedRdd<T>(parent.ctx(), std::move(out));
+  return TypedRdd<T>(ctx, std::move(out));
 }
 
 // CoGroup: for each key, the values from both sides. The building block for
@@ -106,9 +171,9 @@ PairRdd<K, std::pair<std::vector<V>, std::vector<W>>> CoGroup(const PairRdd<K, V
                                                               int num_reduce,
                                                               std::string name = "cogroup") {
   FlintContext* ctx = left.ctx();
-  auto left_info = rdd_internal::MakeShuffle<K, V>(ctx, left.raw(), num_reduce,
+  auto left_info = rdd_internal::MakeShuffle(ctx, left.raw(), num_reduce,
                                                    rdd_internal::MakePlainBucketer<K, V>());
-  auto right_info = rdd_internal::MakeShuffle<K, W>(ctx, right.raw(), num_reduce,
+  auto right_info = rdd_internal::MakeShuffle(ctx, right.raw(), num_reduce,
                                                     rdd_internal::MakePlainBucketer<K, W>());
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   RddPtr out = ctx->CreateRdd(
@@ -169,15 +234,41 @@ PairRdd<K, std::pair<V, std::optional<W>>> LeftOuterJoin(const PairRdd<K, V>& le
       name);
 }
 
-// Take: the first n records in partition order (materializes everything; the
-// engine targets MB-scale partitions, so no incremental evaluation).
+// Take: the first n records in partition order. Materializes partitions
+// incrementally — the first batch is one partition, each miss grows the
+// next batch 4x (Spark's scale-up heuristic) — and stops as soon as n
+// records are gathered, so Take(small) on a wide RDD never computes the
+// tail partitions.
 template <typename T>
 Result<std::vector<T>> Take(const TypedRdd<T>& rdd, size_t n) {
-  FLINT_ASSIGN_OR_RETURN(std::vector<T> all, rdd.Collect());
-  if (all.size() > n) {
-    all.resize(n);
+  std::vector<T> out;
+  if (n == 0) {
+    return out;
   }
-  return all;
+  const int total = rdd.num_partitions();
+  int next = 0;
+  int batch = 1;
+  while (next < total && out.size() < n) {
+    std::vector<int> want;
+    want.reserve(static_cast<size_t>(batch));
+    for (int p = next; p < total && static_cast<int>(want.size()) < batch; ++p) {
+      want.push_back(p);
+    }
+    next += static_cast<int>(want.size());
+    batch *= 4;
+    FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> parts,
+                           rdd.ctx()->MaterializePartitions(rdd.raw(), want));
+    for (const auto& part : parts) {
+      const auto& rows = Rows<T>(*part);
+      for (const T& r : rows) {
+        out.push_back(r);
+        if (out.size() == n) {
+          return out;
+        }
+      }
+    }
+  }
+  return out;
 }
 
 template <typename T>

@@ -1,10 +1,14 @@
 // Tests for the extended operator surface (typed_rdd_ops.h): Union,
 // Distinct, Sample, SortBy, CoGroup, LeftOuterJoin, Take/First, Keys/Values —
-// including behaviour across revocations.
+// including behaviour across revocations — plus the narrow-chain operator
+// fusion rules (fusion.h): fused results are bit-identical to unfused, and
+// fusion breaks at cache, checkpoint, shuffle, and shared-consumer
+// boundaries.
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <optional>
 #include <set>
 
 #include "src/engine/typed_rdd_ops.h"
@@ -14,6 +18,7 @@ namespace flint {
 namespace {
 
 using testing::EngineHarness;
+using testing::EngineHarnessOptions;
 
 TEST(EngineOpsTest, UnionConcatenatesBothSides) {
   EngineHarness h;
@@ -139,6 +144,232 @@ TEST(EngineOpsTest, KeysValuesProject) {
   ASSERT_TRUE(values.ok());
   EXPECT_EQ(*keys, (std::vector<int>{1, 2}));
   EXPECT_EQ(*values, (std::vector<double>{0.5, 0.25}));
+}
+
+// --- narrow-chain operator fusion (fusion.h) ---
+
+TEST(FusionTest, FusedChainMatchesUnfusedBitForBit) {
+  EngineHarness fused;
+  EngineHarness plain{EngineHarnessOptions{.operator_fusion = false}};
+  std::vector<int> data(5000);
+  std::iota(data.begin(), data.end(), -2500);
+  auto run = [&data](EngineHarness& h) {
+    return Parallelize(&h.ctx(), data, 4)
+        .Map([](const int& x) { return x * 3 + 1; })
+        .Map([](const int& x) { return x ^ (x >> 2); })
+        .Filter([](const int& x) { return x % 7 != 0; })
+        .Collect();
+  };
+  auto a = run(fused);
+  auto b = run(plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // One fused task per partition, two intermediate partitions elided each.
+  EXPECT_EQ(fused.ctx().counters().fused_chains.load(), 4u);
+  EXPECT_EQ(fused.ctx().counters().fused_operators_elided.load(), 8u);
+  EXPECT_EQ(plain.ctx().counters().fused_chains.load(), 0u);
+  // The fused run computed only the chain bottoms and the sources.
+  EXPECT_LT(fused.ctx().counters().partitions_computed.load(),
+            plain.ctx().counters().partitions_computed.load());
+}
+
+TEST(FusionTest, FlatMapAndSampleFuseDeterministically) {
+  EngineHarness fused;
+  EngineHarness plain{EngineHarnessOptions{.operator_fusion = false}};
+  std::vector<int> data(2000);
+  std::iota(data.begin(), data.end(), 0);
+  auto run = [&data](EngineHarness& h) {
+    auto exploded = Parallelize(&h.ctx(), data, 5).FlatMap([](const int& x) {
+      return std::vector<int>{x, x + 100000};
+    });
+    return Sample(exploded, 0.5, /*seed=*/11)
+        .Map([](const int& x) { return x * 2; })
+        .Collect();
+  };
+  auto a = run(fused);
+  auto b = run(plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // includes the per-partition sampling RNG streams
+  EXPECT_EQ(fused.ctx().counters().fused_chains.load(), 5u);
+  EXPECT_EQ(fused.ctx().counters().fused_operators_elided.load(), 10u);
+}
+
+TEST(FusionTest, CacheBoundaryBreaksFusionAndPopulatesCache) {
+  EngineHarness h;
+  std::vector<int> data(900);
+  std::iota(data.begin(), data.end(), 0);
+  auto mid = Parallelize(&h.ctx(), data, 3).Map([](const int& x) { return x + 1; });
+  mid.Cache();
+  auto out = mid.Map([](const int& x) { return x * 2; })
+                 .Filter([](const int& x) { return x > 10; })
+                 .Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->front(), 12);
+  EXPECT_EQ(out->size(), 895u);
+  // Only the two ops below the cache fused; mid itself was materialized.
+  EXPECT_EQ(h.ctx().counters().fused_chains.load(), 3u);
+  EXPECT_EQ(h.ctx().counters().fused_operators_elided.load(), 3u);
+  // A second action over mid is served from cache, proving the fused task
+  // did not stream through the cache point.
+  const uint64_t hits_before = h.ctx().counters().cache_hits.load();
+  auto again = mid.Collect();
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(h.ctx().counters().cache_hits.load() - hits_before, 3u);
+}
+
+TEST(FusionTest, CheckpointMarkBreaksFusion) {
+  EngineHarness h;
+  std::vector<int> data(600);
+  std::iota(data.begin(), data.end(), 0);
+  auto mid = Parallelize(&h.ctx(), data, 3).Map([](const int& x) { return x + 5; });
+  ASSERT_TRUE(mid.raw()->MarkForCheckpoint());
+  auto out = mid.Map([](const int& x) { return x - 5; }).Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, data);
+  // The marked RDD is a fusion barrier: the single op above it forms a
+  // one-element chain, which executes unfused.
+  EXPECT_EQ(h.ctx().counters().fused_chains.load(), 0u);
+}
+
+TEST(FusionTest, SharedIntermediateIsNotFusedThrough) {
+  EngineHarness h;
+  std::vector<int> data(600);
+  std::iota(data.begin(), data.end(), 0);
+  auto mid = Parallelize(&h.ctx(), data, 3).Map([](const int& x) { return x + 1; });
+  auto doubled = mid.Map([](const int& x) { return x * 2; });
+  auto evens = mid.Filter([](const int& x) { return x % 2 == 0; });
+  // mid now has two live consumers; streaming through it would compute it
+  // twice, so neither chain may fuse across it.
+  auto a = doubled.Collect();
+  auto b = evens.Collect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->front(), 2);
+  EXPECT_EQ(a->size(), 600u);
+  EXPECT_EQ(b->size(), 300u);
+  EXPECT_EQ(h.ctx().counters().fused_chains.load(), 0u);
+}
+
+TEST(FusionTest, FusionRestartsAfterShuffleBoundary) {
+  EngineHarness fused;
+  EngineHarness plain{EngineHarnessOptions{.operator_fusion = false}};
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1200; ++i) {
+    data.emplace_back(i % 23, 1);
+  }
+  auto run = [&data](EngineHarness& h) {
+    auto counts = ReduceByKey(Parallelize(&h.ctx(), data, 4), 3,
+                              [](int a, int b) { return a + b; });
+    auto out = counts.Map([](const std::pair<int, int>& kv) { return kv.second; })
+                   .Filter([](const int& c) { return c > 0; })
+                   .Collect();
+    if (out.ok()) {
+      std::sort(out->begin(), out->end());
+    }
+    return out;
+  };
+  auto a = run(fused);
+  auto b = run(plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // The Map->Filter pair above the shuffle output fused (one chain per
+  // reduce partition); the shuffle itself never streams.
+  EXPECT_EQ(fused.ctx().counters().fused_chains.load(), 3u);
+}
+
+TEST(FusionTest, ReducePartialsFuseIntoTheChain) {
+  EngineHarness fused;
+  EngineHarness plain{EngineHarnessOptions{.operator_fusion = false}};
+  std::vector<int> data(4000);
+  std::iota(data.begin(), data.end(), 1);
+  auto run = [&data](EngineHarness& h) {
+    return Parallelize(&h.ctx(), data, 6)
+        .Map([](const int& x) { return x * 2; })
+        .Reduce([](int a, int b) { return a + b; });
+  };
+  auto a = run(fused);
+  auto b = run(plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, 4000 * 4001);
+  // The per-partition fold sank into the map chain: map + partial fuse.
+  EXPECT_EQ(fused.ctx().counters().fused_chains.load(), 6u);
+  EXPECT_EQ(fused.ctx().counters().fused_operators_elided.load(), 6u);
+}
+
+TEST(FusionTest, ReduceIsDeterministicForNonCommutativeOps) {
+  EngineHarness h{EngineHarnessOptions{.executor_threads = 2}};
+  std::vector<std::string> tokens;
+  std::string expect;
+  for (int i = 0; i < 40; ++i) {
+    tokens.push_back(std::string(1, static_cast<char>('a' + i % 26)));
+    expect += tokens.back();
+  }
+  // Concatenation is associative but not commutative: the driver must fold
+  // per-partition partials in partition order.
+  auto got = Parallelize(&h.ctx(), tokens, 8).Reduce([](const std::string& a,
+                                                        const std::string& b) { return a + b; });
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, expect);
+}
+
+TEST(EngineOpsTest, SortByDeterministicAcrossPartitionCounts) {
+  EngineHarness h{EngineHarnessOptions{.executor_threads = 2}};
+  Rng rng(7);
+  std::vector<std::pair<int, int>> data;  // many duplicate keys, distinct payloads
+  for (int i = 0; i < 3000; ++i) {
+    data.emplace_back(static_cast<int>(rng.UniformInt(50)), i);
+  }
+  auto base = Parallelize(&h.ctx(), data, 6);
+  auto key = [](const std::pair<int, int>& p) { return p.first; };
+  std::optional<std::vector<std::pair<int, int>>> reference;
+  for (int parts : {1, 2, 4, 8}) {
+    auto out = SortBy(base, key, parts).Collect();
+    ASSERT_TRUE(out.ok()) << "num_output=" << parts;
+    ASSERT_EQ(out->size(), data.size());
+    EXPECT_TRUE(std::is_sorted(out->begin(), out->end(),
+                               [&](const auto& a, const auto& b) { return key(a) < key(b); }));
+    if (!reference.has_value()) {
+      reference = *out;
+    } else {
+      // Equal keys keep their arrival order (stable sort + range partitioning
+      // that never splits a key), so every partition count yields the exact
+      // same sequence.
+      EXPECT_EQ(*out, *reference) << "num_output=" << parts;
+    }
+  }
+}
+
+TEST(EngineOpsTest, TakeMaterializesOnlyNeededPartitions) {
+  EngineHarness h;
+  std::vector<int> data(400);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = Parallelize(&h.ctx(), data, 8).Map([](const int& x) { return x + 1; });
+  const uint64_t before = h.ctx().counters().partitions_computed.load();
+  auto out = Take(rdd, 10);
+  ASSERT_TRUE(out.ok());
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 1);
+  EXPECT_EQ(*out, expect);
+  // Partition 0 (50 rows) covers n=10: only the first chain bottom and its
+  // source were computed, not all 8 partitions.
+  EXPECT_LE(h.ctx().counters().partitions_computed.load() - before, 2u);
+
+  // A larger n spans partitions but keeps the global prefix order.
+  auto more = Take(rdd, 120);
+  ASSERT_TRUE(more.ok());
+  std::vector<int> expect_more(120);
+  std::iota(expect_more.begin(), expect_more.end(), 1);
+  EXPECT_EQ(*more, expect_more);
+
+  // n beyond the dataset returns everything.
+  auto all = Take(rdd, 1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 400u);
 }
 
 TEST(EngineOpsTest, DistinctSurvivesRevocation) {

@@ -174,6 +174,47 @@ TEST_F(FaultInjectionTest, MaterializeOverShuffleSurvivesHardKillMidMapStage) {
   EXPECT_GT(h.ctx().counters().task_failures.load(), 0u);
 }
 
+// Fused narrow chains (fusion.h) must recompute bit-identically when a hard
+// storm wipes every node mid-stage: the fused task re-streams from its
+// barrier input on a replacement node, and the result — including the
+// per-partition sampling RNG stream — matches an untouched cluster's byte
+// for byte.
+TEST_F(FaultInjectionTest, FusedChainRecomputesBitIdenticalUnderHardStorm) {
+  std::vector<int> data(4000);
+  std::iota(data.begin(), data.end(), 0);
+  auto run = [&data](EngineHarness& h) {
+    auto mapped = Parallelize(&h.ctx(), data, 4)
+                      .Map([](const int& x) { return x * 31 + 7; })
+                      .Map([](const int& x) { return x ^ (x >> 3); });
+    return Sample(mapped, 0.5, /*seed=*/13)
+        .Filter([](const int& x) { return (x & 1) == 0; })
+        .Collect();
+  };
+
+  std::vector<int> reference;
+  {
+    EngineHarness clean;
+    auto out = run(clean);
+    ASSERT_TRUE(out.ok());
+    reference = *out;
+    ASSERT_GT(clean.ctx().counters().fused_chains.load(), 0u);
+  }
+
+  EngineHarness h;
+  FaultPlan plan;
+  plan.events.push_back(RevokeAllAt(EnginePoint::kSchedulerRound, /*after_hits=*/0,
+                                    /*with_warning=*/false, /*replacements=*/4,
+                                    /*delay_seconds=*/0.05));
+  FaultInjector injector(&h.cluster(), plan);
+  ProbeGuard guard(&h.ctx(), &injector);
+
+  auto out = run(h);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, reference);
+  EXPECT_TRUE(injector.AllEventsFired());
+  EXPECT_GT(h.ctx().counters().fused_chains.load(), 0u);
+}
+
 // The unified loop protects the result stage the same way: a warning storm
 // at the first scheduler round of a shuffle-free job drains every pool
 // before dispatch, and the stage must park rather than spin.

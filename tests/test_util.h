@@ -24,6 +24,11 @@ struct EngineHarnessOptions {
   int executor_threads = 1;
   bool model_latency = false;
   EvictionMode eviction = EvictionMode::kDrop;
+  // Narrow-chain operator fusion; differential tests and the unfused
+  // benchmark baselines switch it off.
+  bool operator_fusion = true;
+  // Lock shards per node's BlockManager (see BlockManagerConfig::num_shards).
+  int block_shards = 8;
   // Fast time scale so warnings/acquisitions take milliseconds in tests.
   double seconds_per_model_hour = 0.05;
   // Retry/backoff applied to checkpoint writes and verified restores; DFS
@@ -44,8 +49,10 @@ class EngineHarness {
     dfs_->set_model_latency(options.model_latency);
     EngineConfig engine;
     engine.model_latency = options.model_latency;
+    engine.operator_fusion = options.operator_fusion;
     engine.block_defaults.model_latency = options.model_latency;
     engine.block_defaults.eviction = options.eviction;
+    engine.block_defaults.num_shards = options.block_shards;
     engine.checkpoint_retry = options.checkpoint_retry;
     ctx_ = std::make_unique<FlintContext>(cluster_.get(), dfs_.get(), engine);
     for (int i = 0; i < options.num_nodes; ++i) {

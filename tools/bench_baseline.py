@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Normalize and compare google-benchmark JSON output (stdlib only).
+
+Usage:
+  bench_baseline.py normalize <raw.json>
+      Print a normalized baseline document to stdout: per-benchmark
+      items/s and wall time in ns, rounded to 3 significant digits, with
+      machine-specific context (host, date, CPU scaling) stripped so the
+      committed BENCH_engine.json diffs only when performance moves.
+
+  bench_baseline.py compare <baseline.json> <raw.json> [threshold]
+      Compare a fresh run against the committed baseline. Prints one line
+      per benchmark with the items/s ratio. Exits 2 if any benchmark's
+      items/s dropped by more than `threshold` (default 0.25, i.e. 25%),
+      0 otherwise. Intended for the warn-only --bench leg of check.sh.
+"""
+
+import json
+import sys
+
+# The headline pair for the operator-fusion work; normalize records their
+# ratio so the acceptance bar (>= 1.5x) is visible in the committed file.
+FUSED = "BM_NarrowChainFused/1048576/real_time"
+UNFUSED = "BM_NarrowChainUnfused/1048576/real_time"
+
+_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def _sig3(x):
+    return float(f"{x:.3g}")
+
+
+def _load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def _iterations(raw):
+    for b in raw.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions are used.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        yield b
+
+
+def normalize(raw):
+    benchmarks = {}
+    for b in _iterations(raw):
+        entry = {"real_time_ns": _sig3(b["real_time"] * _NS.get(b.get("time_unit", "ns"), 1.0))}
+        if "items_per_second" in b:
+            entry["items_per_second"] = _sig3(b["items_per_second"])
+        benchmarks[b["name"]] = entry
+    doc = {"schema": 1, "benchmarks": benchmarks}
+    fused = benchmarks.get(FUSED, {}).get("items_per_second")
+    unfused = benchmarks.get(UNFUSED, {}).get("items_per_second")
+    if fused and unfused:
+        doc["derived"] = {"narrow_chain_fusion_speedup": _sig3(fused / unfused)}
+    return doc
+
+
+def compare(baseline, raw, threshold):
+    current = normalize(raw)["benchmarks"]
+    regressions = []
+    for name, base in sorted(baseline.get("benchmarks", {}).items()):
+        base_ips = base.get("items_per_second")
+        cur_ips = current.get(name, {}).get("items_per_second")
+        if not base_ips:
+            continue
+        if not cur_ips:
+            print(f"  {name}: missing from current run")
+            continue
+        ratio = cur_ips / base_ips
+        flag = ""
+        if ratio < 1.0 - threshold:
+            flag = f"  <-- regression (>{threshold:.0%} below baseline)"
+            regressions.append(name)
+        print(f"  {name}: {ratio:.2f}x baseline items/s{flag}")
+    speedup = normalize(raw).get("derived", {}).get("narrow_chain_fusion_speedup")
+    if speedup is not None:
+        print(f"  narrow-chain fusion speedup: {speedup:.2f}x")
+    return regressions
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "normalize":
+        json.dump(normalize(_load(argv[1])), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    if len(argv) >= 3 and argv[0] == "compare":
+        threshold = float(argv[3]) if len(argv) > 3 else 0.25
+        regressions = compare(_load(argv[1]), _load(argv[2]), threshold)
+        if regressions:
+            print(f"{len(regressions)} benchmark(s) regressed beyond {threshold:.0%}")
+            return 2
+        return 0
+    sys.stderr.write(__doc__)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

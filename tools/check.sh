@@ -4,6 +4,8 @@
 #   tools/check.sh            # tier-1 + static + TSan + ASan + UBSan
 #   tools/check.sh --fast     # tier-1 only (skip static + sanitizers)
 #   tools/check.sh --static   # static-analysis leg only
+#   tools/check.sh --bench    # benchmark leg only (Release micro_engine vs
+#                             # the committed BENCH_engine.json baseline)
 #
 # Legs:
 #   tier-1   cmake build + full ctest (the contract every PR must keep green).
@@ -22,6 +24,11 @@
 #            where abandoned writes and quarantined directories could leak.
 #   ubsan    FLINT_SANITIZE=undefined rebuild (-fno-sanitize-recover, so any
 #            UB aborts the test); same suites as TSan plus checkpoint math.
+#   bench    Release build of bench/micro_engine compared against the
+#            committed BENCH_engine.json. An items/s drop beyond 25% on any
+#            benchmark WARNS but never fails the run: wall-clock numbers vary
+#            across machines, and the baseline is refreshed deliberately with
+#            tools/bench.sh after intentional performance changes.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -130,8 +137,28 @@ run_sanitizer() {  # run_sanitizer <leg> <FLINT_SANITIZE value> <build dir> <gte
   fi
 }
 
+run_bench() {
+  echo "== bench: Release micro_engine vs BENCH_engine.json =="
+  tools/bench.sh --compare
+  local rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
+    record bench pass
+  elif [[ "${rc}" -eq 2 ]]; then
+    echo "WARNING: benchmark regression vs BENCH_engine.json (see above);" \
+         "rerun tools/bench.sh to refresh the baseline if intentional" >&2
+    record bench "pass (regression warning)"
+  else
+    record bench "FAIL (bench run)"
+  fi
+}
+
 if [[ "${MODE}" == "--static" ]]; then
   run_static
+  summary
+fi
+
+if [[ "${MODE}" == "--bench" ]]; then
+  run_bench
   summary
 fi
 
