@@ -11,6 +11,7 @@
 #include "src/engine/block_manager.h"
 #include "src/engine/typed_rdd.h"
 #include "src/engine/typed_rdd_ops.h"
+#include "src/obs/trace.h"
 #include "src/trace/price_trace.h"
 #include "tests/test_util.h"
 
@@ -62,6 +63,20 @@ BENCHMARK(BM_NarrowChainFused)->Arg(1 << 20)->UseRealTime();
 
 void BM_NarrowChainUnfused(benchmark::State& state) { RunNarrowChain(state, false); }
 BENCHMARK(BM_NarrowChainUnfused)->Arg(1 << 20)->UseRealTime();
+
+// Same fused chain with the global tracer enabled. The --obs leg of
+// tools/check.sh compares this against BM_NarrowChainFused and asserts the
+// tracer costs < 5% walltime: per stage/task span it is two clock reads and
+// one striped ring write, which must stay invisible next to the actual work.
+void BM_NarrowChainFusedTraced(benchmark::State& state) {
+  ObsConfig obs;
+  obs.tracing = true;
+  obs.trace_capacity = 1 << 16;
+  ConfigureObservability(obs);
+  RunNarrowChain(state, true);
+  ConfigureObservability(ObsConfig{});
+}
+BENCHMARK(BM_NarrowChainFusedTraced)->Arg(1 << 20)->UseRealTime();
 
 // Sampled range-partitioned sort: the argument is num_output partitions, so
 // the sweep shows wall time dropping as the sort spreads across executors.

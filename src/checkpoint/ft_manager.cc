@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace flint {
 
@@ -14,6 +15,41 @@ FaultToleranceManager::FaultToleranceManager(FlintContext* ctx, CheckpointConfig
       delta_seconds_(config.initial_delta_seconds),
       last_shuffle_checkpoint_(WallClock::now()) {
   ctx_->AddObserver(this);
+  metrics_collector_ = ScopedCollector(
+      &MetricsRegistry::Global(), [this](std::vector<MetricSample>& out) {
+        Stats stats;
+        double delta = 0.0;
+        double tau = 0.0;
+        double mttf = 0.0;
+        bool degraded = false;
+        {
+          ReaderMutexLock lock(&mutex_);
+          stats = stats_;
+          delta = delta_seconds_;
+          tau = TauSecondsLocked();
+          mttf = mttf_hours_;
+          degraded = degraded_;
+        }
+        auto counter = [&out](const char* name, uint64_t v) {
+          out.push_back({name, MetricType::kCounter, static_cast<double>(v)});
+        };
+        counter("flint_ft_rdds_checkpointed", stats.rdds_checkpointed);
+        counter("flint_ft_partitions_written", stats.partitions_written);
+        counter("flint_ft_bytes_written", stats.bytes_written);
+        counter("flint_ft_gc_deleted_rdds", stats.gc_deleted_rdds);
+        counter("flint_ft_signals_fired", stats.signals_fired);
+        counter("flint_ft_signals_expired", stats.signals_expired);
+        counter("flint_ft_writes_failed", stats.writes_failed);
+        counter("flint_ft_pending_requeued", stats.pending_requeued);
+        counter("flint_ft_pending_expired", stats.pending_expired);
+        counter("flint_ft_signals_suspended", stats.signals_suspended);
+        counter("flint_ft_degraded_entered", stats.degraded_entered);
+        counter("flint_ft_degraded_recovered", stats.degraded_recovered);
+        out.push_back({"flint_ft_delta_seconds", MetricType::kGauge, delta});
+        out.push_back({"flint_ft_tau_seconds", MetricType::kGauge, tau});
+        out.push_back({"flint_ft_mttf_hours", MetricType::kGauge, mttf});
+        out.push_back({"flint_ft_degraded", MetricType::kGauge, degraded ? 1.0 : 0.0});
+      });
 }
 
 FaultToleranceManager::~FaultToleranceManager() {
@@ -128,6 +164,17 @@ void FaultToleranceManager::FireCheckpointRound() {
   {
     MutexLock lock(&mutex_);
     ++stats_.signals_fired;
+  }
+  if (TracingEnabled()) {
+    double delta = 0.0;
+    double tau = 0.0;
+    {
+      ReaderMutexLock lock(&mutex_);
+      delta = delta_seconds_;
+      tau = TauSecondsLocked();
+    }
+    Tracer::Global().RecordInstant("checkpoint_round", "checkpoint",
+                                   {{"delta_s", delta}, {"tau_s", tau}});
   }
   // Degraded mode: the store has swallowed the retry budget of several
   // writes in a row. Signalling more checkpoints would only queue more
@@ -422,12 +469,26 @@ void FaultToleranceManager::OnCheckpointWritten(const RddPtr& rdd, int partition
   // a slow store genuinely raises the cost of a checkpoint, and tau should
   // stretch accordingly.
   const double measured = WallDuration(WallClock::now() - started).count();
+  double delta_ewma = 0.0;
+  double tau = 0.0;
   {
     MutexLock lock(&mutex_);
     delta_seconds_ = config_.delta_ewma_alpha * measured +
                      (1.0 - config_.delta_ewma_alpha) * delta_seconds_;
     stats_.rdds_checkpointed += 1;
+    delta_ewma = delta_seconds_;
+    tau = TauSecondsLocked();
   }
+  // The metric is always on (checkpoint completion is cold); the trace
+  // instant is a no-op unless tracing is enabled.
+  MetricsRegistry::Global()
+      .GetHistogram("flint_ft_delta_sample_seconds", Histogram::DefaultLatencyBounds())
+      ->Observe(measured);
+  Tracer::Global().RecordInstant("checkpoint", "checkpoint",
+                                 {{"rdd", static_cast<double>(completed->id())},
+                                  {"delta_sample_s", measured},
+                                  {"delta_ewma_s", delta_ewma},
+                                  {"tau_s", tau}});
   completed->SetCheckpointSaved();
   FLINT_ILOG() << "checkpoint saved: rdd " << completed->id() << " (manifest committed)";
   thread_cv_.NotifyAll();  // tau may have changed with delta

@@ -26,6 +26,7 @@
 #include "src/common/units.h"
 #include "src/engine/context.h"
 #include "src/engine/observer.h"
+#include "src/obs/metrics.h"
 
 namespace flint {
 
@@ -197,6 +198,10 @@ class FaultToleranceManager : public EngineObserver {
   bool running_ GUARDED_BY(thread_mutex_) = false;
   bool stop_requested_ GUARDED_BY(thread_mutex_) = false;
   std::thread signal_thread_;
+
+  // Exports Stats + the live delta/tau/mttf estimates as flint_ft_* metrics.
+  // Declared last so it unhooks before the state it reads is torn down.
+  ScopedCollector metrics_collector_;
 };
 
 }  // namespace flint

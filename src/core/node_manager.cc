@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/common/stats.h"
+#include "src/obs/trace.h"
 
 namespace flint {
 
@@ -16,6 +17,28 @@ NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToler
       selector_(marketplace, config_.selection),
       engine_start_(WallClock::now()) {
   ctx_->AddObserver(this);
+  metrics_collector_ = ScopedCollector(
+      &MetricsRegistry::Global(), [this](std::vector<MetricSample>& out) {
+        auto counter = [&out](const char* name, uint64_t v) {
+          out.push_back({name, MetricType::kCounter, static_cast<double>(v)});
+        };
+        counter("flint_node_acquisitions", acquisitions_.load(std::memory_order_relaxed));
+        counter("flint_node_on_demand_fallbacks",
+                od_fallbacks_.load(std::memory_order_relaxed));
+        counter("flint_node_replacements", replacements_.load(std::memory_order_relaxed));
+        counter("flint_node_warnings", warnings_seen_.load(std::memory_order_relaxed));
+        counter("flint_node_revocations", revocations_seen_.load(std::memory_order_relaxed));
+        bool started = false;
+        {
+          ReaderMutexLock lock(&mutex_);
+          started = started_;
+        }
+        if (started) {
+          out.push_back({"flint_node_total_cost", MetricType::kGauge, TotalCost()});
+          out.push_back({"flint_node_on_demand_equivalent_cost", MetricType::kGauge,
+                         OnDemandEquivalentCost()});
+        }
+      });
 }
 
 NodeManager::~NodeManager() {
@@ -76,10 +99,16 @@ Status NodeManager::Start() {
     Result<Lease> lease = marketplace_->Acquire(market, selector_.BidFor(market), now);
     if (!lease.ok()) {
       // Spot request refused (price moved): fall back to on-demand.
+      od_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       lease = marketplace_->Acquire(kOnDemandMarket, marketplace_->on_demand_price(), now);
     }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
     const NodeId id = ctx_->cluster().AddNode(lease->market, config_.node_memory_bytes,
                                               config_.executor_threads);
+    Tracer::Global().RecordInstant("node_acquired", "market",
+                                   {{"node", static_cast<double>(id)},
+                                    {"market", static_cast<double>(lease->market)},
+                                    {"bid", lease->bid}});
     {
       MutexLock lock(&mutex_);
       leases_[id] = LeaseRecord{*lease, true, 0.0};
@@ -126,6 +155,7 @@ void NodeManager::UpdateFtMttf() {
 void NodeManager::OnNodeWarning(const NodeInfo& node) {
   // Immediate market re-selection on the 2-minute warning (Sec 4): request
   // the replacement before the node is even gone.
+  warnings_seen_.fetch_add(1, std::memory_order_relaxed);
   MarketId revoked_market = node.market;
   {
     MutexLock lock(&mutex_);
@@ -154,6 +184,7 @@ void NodeManager::PruneRevokedLocked(SimTime now) {
 }
 
 void NodeManager::ProvisionReplacement(MarketId revoked_market) {
+  replacements_.fetch_add(1, std::memory_order_relaxed);
   const SimTime now = Now();
   std::unordered_set<MarketId> exclude;
   {
@@ -171,10 +202,17 @@ void NodeManager::ProvisionReplacement(MarketId revoked_market) {
   MarketId market = choice.ok() ? choice->id : kOnDemandMarket;
   Result<Lease> lease = marketplace_->Acquire(market, selector_.BidFor(market), now);
   if (!lease.ok()) {
+    od_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     lease = marketplace_->Acquire(kOnDemandMarket, marketplace_->on_demand_price(), now);
   }
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
   const NodeId id = ctx_->cluster().AddNodeAfterDelay(lease->market, config_.node_memory_bytes,
                                                       config_.executor_threads);
+  Tracer::Global().RecordInstant("node_acquired", "market",
+                                 {{"node", static_cast<double>(id)},
+                                  {"market", static_cast<double>(lease->market)},
+                                  {"bid", lease->bid},
+                                  {"replacement", 1.0}});
   {
     MutexLock lock(&mutex_);
     leases_[id] = LeaseRecord{*lease, true, 0.0};
@@ -196,6 +234,7 @@ double NodeManager::CloseLeaseCost(LeaseRecord& rec, SimTime end) {
 }
 
 void NodeManager::OnNodeRevoked(const NodeInfo& node) {
+  revocations_seen_.fetch_add(1, std::memory_order_relaxed);
   bool need_replacement = false;
   {
     MutexLock lock(&mutex_);

@@ -121,7 +121,18 @@ class NodeManager : public EngineObserver {
   std::unordered_map<NodeId, MarketId> replacement_for_ GUARDED_BY(mutex_);
   double closed_cost_ GUARDED_BY(mutex_) = 0.0;
 
+  // Lease-lifecycle accounting, exported as flint_node_* metrics.
+  std::atomic<uint64_t> acquisitions_{0};       // leases acquired (initial + replacement)
+  std::atomic<uint64_t> od_fallbacks_{0};       // spot refusals that fell back to on-demand
+  std::atomic<uint64_t> replacements_{0};       // replacement provisions requested
+  std::atomic<uint64_t> warnings_seen_{0};      // revocation warnings observed
+  std::atomic<uint64_t> revocations_seen_{0};   // revocations observed
+
   TimerQueue timers_;
+
+  // Exports the counters above plus cost gauges; declared last so it unhooks
+  // before the state it reads is torn down.
+  ScopedCollector metrics_collector_;
 };
 
 }  // namespace flint

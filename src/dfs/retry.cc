@@ -6,6 +6,8 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flint {
 
@@ -13,8 +15,10 @@ namespace {
 
 bool Retryable(const Status& status) { return status.code() == StatusCode::kUnavailable; }
 
-// Shared attempt loop: `op` returns the status of one attempt.
-Status RetryLoop(const std::string& path, const DfsRetryPolicy& policy,
+// Shared attempt loop: `op` returns the status of one attempt. `kind` labels
+// telemetry ("put"/"get"); retries are cold, so per-retry registry lookups
+// are fine.
+Status RetryLoop(const std::string& path, const char* kind, const DfsRetryPolicy& policy,
                  const std::function<Status()>& op, DfsRetryStats* stats) {
   Rng jitter(std::hash<std::string>{}(path) ^ policy.jitter_seed);
   const auto t0 = WallClock::now();
@@ -41,8 +45,19 @@ Status RetryLoop(const std::string& path, const DfsRetryPolicy& policy,
         break;  // the next attempt would land past the deadline
       }
     }
+    MetricsRegistry::Global().GetCounter("flint_dfs_retry_attempts")->Increment();
+    if (TracingEnabled()) {
+      Tracer::Global().RecordInstant("dfs_retry", "dfs",
+                                     {{"attempt", static_cast<double>(attempt + 1)},
+                                      {"backoff_s", sleep_s}},
+                                     std::string(kind) + " " + path);
+    }
     std::this_thread::sleep_for(WallDuration(sleep_s));
     backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_seconds);
+  }
+  if (!last.ok() && Retryable(last)) {
+    // Budget exhausted on a transient error: the caller will abandon the op.
+    MetricsRegistry::Global().GetCounter("flint_dfs_retry_exhausted")->Increment();
   }
   if (stats != nullptr) {
     stats->attempts = attempts;
@@ -55,14 +70,14 @@ Status RetryLoop(const std::string& path, const DfsRetryPolicy& policy,
 
 Status PutWithRetry(Dfs& dfs, const std::string& path, const DfsObject& object,
                     const DfsRetryPolicy& policy, DfsRetryStats* stats) {
-  return RetryLoop(path, policy, [&] { return dfs.Put(path, object); }, stats);
+  return RetryLoop(path, "put", policy, [&] { return dfs.Put(path, object); }, stats);
 }
 
 Result<DfsObject> GetWithRetry(const Dfs& dfs, const std::string& path,
                                const DfsRetryPolicy& policy, DfsRetryStats* stats) {
   Result<DfsObject> result = NotFound("DFS object " + path);
   Status st = RetryLoop(
-      path, policy,
+      path, "get", policy,
       [&] {
         result = dfs.Get(path);
         return result.status();

@@ -101,6 +101,10 @@ void BlockManager::EvictShardLocked(Shard& shard, uint64_t needed,
     }
     shard.memory.erase(it);
     evictions->push_back(ev);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (ev.spilled) {
+      spills_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -114,13 +118,16 @@ PartitionPtr BlockManager::Get(const BlockKey& key) {
       shard.lru.erase(it->second.lru_it);
       shard.lru.push_front(key);
       it->second.lru_it = shard.lru.begin();
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.data;
     }
     auto sit = shard.spill.find(key);
     if (sit == shard.spill.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     from_spill = sit->second;
+    spill_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   // Pay the disk read; then promote back into memory (may evict others).
   // Put() removes the spill copy with correct accounting when it stores.

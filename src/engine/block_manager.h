@@ -13,6 +13,7 @@
 #ifndef SRC_ENGINE_BLOCK_MANAGER_H_
 #define SRC_ENGINE_BLOCK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -99,6 +100,25 @@ class BlockManager {
   size_t num_spill_blocks() const;
   size_t num_shards() const { return shards_.size(); }
 
+  // Lifetime cache-traffic counters, exported as flint_block_* through the
+  // metrics registry (aggregated over nodes by FlintContext's collector).
+  struct CacheCounters {
+    uint64_t hits = 0;       // Get served from memory
+    uint64_t spill_hits = 0; // Get served from local spill
+    uint64_t misses = 0;     // Get found nothing
+    uint64_t evictions = 0;  // blocks pushed out of memory (dropped or spilled)
+    uint64_t spills = 0;     // evictions that went to local disk
+  };
+  CacheCounters GetCacheCounters() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.spill_hits = spill_hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.spills = spills_.load(std::memory_order_relaxed);
+    return c;
+  }
+
  private:
   struct Entry {
     PartitionPtr data;
@@ -127,6 +147,12 @@ class BlockManager {
   BlockManagerConfig config_;
   uint64_t shard_budget_bytes_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> spill_hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> spills_{0};
 };
 
 }  // namespace flint

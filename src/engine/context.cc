@@ -8,13 +8,97 @@
 #include "src/engine/dag_scheduler.h"
 #include "src/engine/lambda_rdd.h"
 #include "src/engine/task_context.h"
+#include "src/obs/trace.h"
 
 namespace flint {
+
+namespace {
+
+// Exports EngineCounters + aggregated BlockManager/ShuffleManager counters
+// into the registry namespace. Runs only at Snapshot() time.
+void AppendCounter(std::vector<MetricSample>& out, const char* name, uint64_t v) {
+  out.push_back({name, MetricType::kCounter, static_cast<double>(v)});
+}
+
+void AppendGauge(std::vector<MetricSample>& out, const char* name, double v) {
+  out.push_back({name, MetricType::kGauge, v});
+}
+
+}  // namespace
 
 FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig config)
     : cluster_(cluster), dfs_(dfs), config_(config) {
   scheduler_ = std::make_unique<DagScheduler>(this);
   cluster_->SetListener(this);
+  metrics_collector_ = ScopedCollector(
+      &MetricsRegistry::Global(), [this](std::vector<MetricSample>& out) {
+        const EngineCounters& c = counters_;
+        AppendCounter(out, "flint_engine_tasks_run", c.tasks_run.load());
+        AppendCounter(out, "flint_engine_task_failures", c.task_failures.load());
+        AppendCounter(out, "flint_engine_partitions_computed", c.partitions_computed.load());
+        AppendCounter(out, "flint_engine_partitions_recomputed",
+                      c.partitions_recomputed.load());
+        AppendCounter(out, "flint_engine_cache_hits", c.cache_hits.load());
+        AppendCounter(out, "flint_engine_cache_misses", c.cache_misses.load());
+        AppendCounter(out, "flint_engine_checkpoint_writes", c.checkpoint_writes.load());
+        AppendCounter(out, "flint_engine_checkpoint_bytes", c.checkpoint_bytes.load());
+        AppendCounter(out, "flint_engine_checkpoint_reads", c.checkpoint_reads.load());
+        AppendCounter(out, "flint_dfs_write_retries", c.write_retries.load());
+        AppendCounter(out, "flint_dfs_writes_abandoned", c.writes_abandoned.load());
+        AppendCounter(out, "flint_engine_restores_fallen_back",
+                      c.restores_fallen_back.load());
+        AppendCounter(out, "flint_engine_checkpoints_quarantined",
+                      c.checkpoints_quarantined.load());
+        AppendCounter(out, "flint_engine_stage_rounds", c.stage_rounds.load());
+        AppendCounter(out, "flint_engine_stage_parks", c.stage_parks.load());
+        AppendCounter(out, "flint_fusion_fused_chains", c.fused_chains.load());
+        AppendCounter(out, "flint_fusion_operators_elided",
+                      c.fused_operators_elided.load());
+        AppendGauge(out, "flint_engine_compute_seconds",
+                    static_cast<double>(c.compute_nanos.load()) * 1e-9);
+        AppendGauge(out, "flint_engine_acquisition_wait_seconds",
+                    static_cast<double>(c.acquisition_wait_nanos.load()) * 1e-9);
+
+        // BlockManager cache traffic, aggregated over live + retired nodes
+        // (a revoked node's history still happened).
+        BlockManager::CacheCounters blocks;
+        uint64_t memory_used = 0;
+        uint64_t spill_used = 0;
+        std::vector<std::shared_ptr<NodeState>> all;
+        {
+          MutexLock lock(&nodes_mutex_);
+          for (const auto& [id, node] : nodes_) {
+            all.push_back(node);
+          }
+          for (const auto& node : retired_) {
+            all.push_back(node);
+          }
+        }
+        for (const auto& node : all) {
+          const BlockManager::CacheCounters nc = node->blocks->GetCacheCounters();
+          blocks.hits += nc.hits;
+          blocks.spill_hits += nc.spill_hits;
+          blocks.misses += nc.misses;
+          blocks.evictions += nc.evictions;
+          blocks.spills += nc.spills;
+          memory_used += node->blocks->memory_used();
+          spill_used += node->blocks->spill_used();
+        }
+        AppendCounter(out, "flint_block_hits", blocks.hits);
+        AppendCounter(out, "flint_block_spill_hits", blocks.spill_hits);
+        AppendCounter(out, "flint_block_misses", blocks.misses);
+        AppendCounter(out, "flint_block_evictions", blocks.evictions);
+        AppendCounter(out, "flint_block_spills", blocks.spills);
+        AppendGauge(out, "flint_block_memory_used_bytes",
+                    static_cast<double>(memory_used));
+        AppendGauge(out, "flint_block_spill_used_bytes", static_cast<double>(spill_used));
+
+        AppendCounter(out, "flint_shuffle_fetch_waits", shuffle_mgr_.FetchWaits());
+        AppendGauge(out, "flint_shuffle_live_shuffles",
+                    static_cast<double>(shuffle_mgr_.NumShuffles()));
+        AppendGauge(out, "flint_shuffle_total_bytes",
+                    static_cast<double>(shuffle_mgr_.TotalBytes()));
+      });
 }
 
 FlintContext::~FlintContext() {
@@ -562,6 +646,10 @@ void FlintContext::NotifyPartitionComputed(const RddPtr& rdd, int partition, dou
     ++c;
     if (c > 1) {
       counters_.partitions_recomputed.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().RecordInstant("recompute", "engine",
+                                     {{"rdd", static_cast<double>(rdd->id())},
+                                      {"partition", static_cast<double>(partition)},
+                                      {"times_computed", static_cast<double>(c)}});
     }
     if (static_cast<int>(counts.size()) == rdd->num_partitions() &&
         materialized_fired_.insert(rdd->id()).second) {
@@ -598,6 +686,9 @@ void FlintContext::OnNodeAdded(const NodeInfo& info) {
     nodes_[info.node_id] = std::move(node);
   }
   node_added_cv_.NotifyAll();
+  Tracer::Global().RecordInstant("node_added", "cluster",
+                                 {{"node", static_cast<double>(info.node_id)},
+                                  {"market", static_cast<double>(info.market)}});
   for (EngineObserver* obs : ObserversSnapshot()) {
     obs->OnNodeAdded(info);
   }
@@ -619,6 +710,9 @@ void FlintContext::OnNodeWarning(const NodeInfo& info) {
     node->draining.store(true, std::memory_order_release);
     node->pool->Close();
   }
+  Tracer::Global().RecordInstant("revocation_warning", "cluster",
+                                 {{"node", static_cast<double>(info.node_id)},
+                                  {"market", static_cast<double>(info.market)}});
   for (EngineObserver* obs : ObserversSnapshot()) {
     obs->OnNodeWarning(info);
   }
@@ -655,6 +749,9 @@ void FlintContext::OnNodeRevoked(const NodeInfo& info) {
     }
   }
   shuffle_mgr_.OnNodeRevoked(info.node_id);
+  Tracer::Global().RecordInstant("revocation", "cluster",
+                                 {{"node", static_cast<double>(info.node_id)},
+                                  {"market", static_cast<double>(info.market)}});
   for (EngineObserver* obs : ObserversSnapshot()) {
     obs->OnNodeRevoked(info);
   }

@@ -27,6 +27,7 @@
 #include "src/engine/observer.h"
 #include "src/engine/rdd.h"
 #include "src/engine/shuffle_manager.h"
+#include "src/obs/metrics.h"
 
 namespace flint {
 
@@ -272,6 +273,11 @@ class FlintContext : public ClusterListener {
   std::unordered_set<std::string> ckpt_inflight_ GUARDED_BY(ckpt_mutex_);
   std::unordered_map<int, std::unordered_map<int, CheckpointPartitionMeta>> ckpt_written_
       GUARDED_BY(ckpt_mutex_);
+
+  // Exports EngineCounters + block/shuffle aggregates into the global
+  // MetricsRegistry. Declared last so it unhooks before any state it reads
+  // is torn down.
+  ScopedCollector metrics_collector_;
 };
 
 }  // namespace flint

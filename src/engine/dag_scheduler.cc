@@ -12,6 +12,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/engine/context.h"
 #include "src/engine/task_context.h"
+#include "src/obs/trace.h"
 
 namespace flint {
 
@@ -172,6 +173,12 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
   }
   ShuffleManager& shuffles = ctx_->shuffles();
 
+  TraceSpan stage_span("shuffle_stage", "stage");
+  stage_span.AddArg("shuffle", shuffle->shuffle_id);
+  stage_span.AddArg("maps", shuffle->num_map_partitions);
+  stage_span.AddArg("reduces", shuffle->num_reduce_partitions);
+  stage_span.AddArg("depth", depth);
+
   StageLoopSpec spec;
   spec.what = "shuffle stage";
   spec.max_stalled_rounds = 4 * kMaxRecoveryDepth;
@@ -197,6 +204,10 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
       const bool queued = node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets,
                                               bucketer, &outcomes] {
         ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
+        TraceSpan task_span("shuffle_map_task", "task");
+        task_span.AddArg("shuffle", shuffle_id);
+        task_span.AddArg("map", m);
+        task_span.AddArg("node", node->info.node_id);
         TaskContext tc(ctx_, node);
         TaskOutcome outcome;
         outcome.index = m;
@@ -256,6 +267,10 @@ Result<std::vector<PartitionPtr>> DagScheduler::MaterializePartitions(
   }
   FLINT_RETURN_IF_ERROR(EnsureShuffleDeps(rdd, 0));
 
+  TraceSpan stage_span("result_stage", "stage");
+  stage_span.AddArg("rdd", rdd->id());
+  stage_span.AddArg("partitions", static_cast<double>(partitions.size()));
+
   // Outcome indices are slots into `partitions`, not partition numbers, so
   // the result vector mirrors the request order.
   const size_t n = partitions.size();
@@ -282,6 +297,10 @@ Result<std::vector<PartitionPtr>> DagScheduler::MaterializePartitions(
       }
       ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
       const bool queued = node->pool->Submit([this, node, rdd, s, p, &outcomes] {
+        TraceSpan task_span("task", "task");
+        task_span.AddArg("rdd", rdd->id());
+        task_span.AddArg("partition", p);
+        task_span.AddArg("node", node->info.node_id);
         TaskContext tc(ctx_, node);
         TaskOutcome outcome;
         outcome.index = static_cast<int>(s);

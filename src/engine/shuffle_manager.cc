@@ -2,15 +2,37 @@
 
 #include <string>
 
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+
 namespace flint {
 
 void ShuffleManager::RegisterShuffle(int shuffle_id, int num_maps, int num_reduces) {
-  MutexLock lock(&mutex_);
-  auto& state = shuffles_[shuffle_id];
-  if (state.outputs.empty()) {
-    state.num_maps = num_maps;
-    state.num_reduces = num_reduces;
-    state.outputs.resize(static_cast<size_t>(num_maps));
+  // Registration is tracked with an explicit flag, not outputs.empty():
+  // a zero-map shuffle has no outputs forever, and using emptiness as the
+  // sentinel let every repeat call re-initialize it — a concurrent or repeat
+  // registration could silently overwrite num_reduces.
+  bool conflicting = false;
+  {
+    MutexLock lock(&mutex_);
+    auto& state = shuffles_[shuffle_id];
+    if (!state.registered) {
+      state.registered = true;
+      state.num_maps = num_maps;
+      state.num_reduces = num_reduces;
+      state.outputs.resize(static_cast<size_t>(num_maps));
+    } else if (state.num_maps != num_maps || state.num_reduces != num_reduces) {
+      // First registration wins: resizing under a different shape would
+      // orphan outputs that map tasks already registered.
+      conflicting = true;
+    }
+  }
+  if (conflicting) {
+    MetricsRegistry::Global().GetCounter("flint_shuffle_reregistered")->Increment();
+    FLINT_WLOG() << "shuffle " << shuffle_id
+                 << " re-registered with a different shape; keeping first "
+                    "registration (maps=" << num_maps << " reduces=" << num_reduces
+                 << " ignored)";
   }
 }
 
@@ -61,12 +83,16 @@ Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int redu
   ReaderMutexLock lock(&mutex_);
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end()) {
+    fetch_waits_.fetch_add(1, std::memory_order_relaxed);
     return DataLoss("unknown shuffle " + std::to_string(shuffle_id));
   }
+  // A registered 0-map shuffle is complete by definition; Fetch returns an
+  // empty bucket list rather than an error.
   std::vector<PartitionPtr> buckets;
   buckets.reserve(it->second.outputs.size());
   for (const auto& out : it->second.outputs) {
     if (!out.present) {
+      fetch_waits_.fetch_add(1, std::memory_order_relaxed);
       return DataLoss("missing map output for shuffle " + std::to_string(shuffle_id));
     }
     if (reduce_part < 0 || static_cast<size_t>(reduce_part) >= out.buckets.size()) {
@@ -126,6 +152,11 @@ uint64_t ShuffleManager::RecentShuffleBytes(int last_n) const {
     }
   }
   return total;
+}
+
+size_t ShuffleManager::NumShuffles() const {
+  ReaderMutexLock lock(&mutex_);
+  return shuffles_.size();
 }
 
 void ShuffleManager::RemoveShuffle(int shuffle_id) {

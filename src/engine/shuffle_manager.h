@@ -8,6 +8,7 @@
 #ifndef SRC_ENGINE_SHUFFLE_MANAGER_H_
 #define SRC_ENGINE_SHUFFLE_MANAGER_H_
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -35,8 +36,16 @@ class ShuffleManager {
   bool IsComplete(int shuffle_id) const;
 
   // Gathers bucket `reduce_part` from every map output. Fails with kDataLoss
-  // if any map output is missing.
+  // if any map output is missing. A registered 0-map shuffle yields an empty
+  // bucket list (complete by definition).
   Result<std::vector<PartitionPtr>> Fetch(int shuffle_id, int reduce_part) const;
+
+  // Fetch calls that failed because outputs were missing (the consumer has
+  // to wait for a re-run); exported as flint_shuffle_fetch_waits.
+  uint64_t FetchWaits() const { return fetch_waits_.load(std::memory_order_relaxed); }
+
+  // Number of registered shuffles currently tracked.
+  size_t NumShuffles() const;
 
   // Drops every bucket stored on `node`.
   void OnNodeRevoked(NodeId node);
@@ -59,6 +68,9 @@ class ShuffleManager {
     std::vector<PartitionPtr> buckets;
   };
   struct ShuffleState {
+    // Explicit registration flag: outputs.empty() is NOT a usable sentinel
+    // because a 0-map shuffle legitimately has no outputs.
+    bool registered = false;
     int num_maps = 0;
     int num_reduces = 0;
     std::vector<MapOutput> outputs;  // indexed by map partition
@@ -66,6 +78,7 @@ class ShuffleManager {
 
   mutable Mutex mutex_{"ShuffleManager::mutex_"};
   std::unordered_map<int, ShuffleState> shuffles_ GUARDED_BY(mutex_);
+  mutable std::atomic<uint64_t> fetch_waits_{0};
 };
 
 }  // namespace flint

@@ -1,0 +1,272 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace flint {
+
+namespace {
+
+// Small dense per-thread id for the "tid" field; assigned on first record.
+uint32_t ThreadTraceId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string& out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; stringify so the export always parses.
+    out += '"';
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    out += buf;
+    out += '"';
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+// Microseconds with nanosecond precision, the unit Chrome's "ts"/"dur" use.
+void AppendMicros(std::string& out, uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : epoch_(WallClock::now()) {
+  ResizeLocked(capacity);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::ResizeLocked(size_t capacity) {
+  const size_t per_stripe = std::max<size_t>(1, capacity / kNumStripes);
+  for (Stripe& s : stripes_) {
+    MutexLock lock(&s.mutex);
+    s.ring.assign(per_stripe, TraceEvent{});
+    s.next = 0;
+    s.filled = 0;
+    s.recorded = 0;
+  }
+}
+
+void Tracer::Configure(const ObsConfig& config) {
+  SetEnabled(false);  // quiesce while resizing
+  ResizeLocked(config.trace_capacity);
+  SetEnabled(config.tracing);
+}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(TraceEvent event) {
+  event.tid = ThreadTraceId();
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = stripes_[event.tid % kNumStripes];
+  MutexLock lock(&s.mutex);
+  s.ring[s.next] = std::move(event);
+  s.next = (s.next + 1) % s.ring.size();
+  s.filled = std::min(s.filled + 1, s.ring.size());
+  ++s.recorded;
+}
+
+void Tracer::RecordInstant(const char* name, const char* category,
+                           std::initializer_list<TraceArg> args, std::string detail) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = TracePhase::kInstant;
+  event.ts_ns = NowNs();
+  for (const TraceArg& a : args) {
+    if (event.num_args < TraceEvent::kMaxArgs) {
+      event.args[event.num_args++] = a;
+    }
+  }
+  event.detail = std::move(detail);
+  Record(std::move(event));
+}
+
+void Tracer::RecordComplete(const char* name, const char* category, uint64_t start_ns,
+                            uint64_t dur_ns, std::initializer_list<TraceArg> args,
+                            std::string detail) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = TracePhase::kComplete;
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  for (const TraceArg& a : args) {
+    if (event.num_args < TraceEvent::kMaxArgs) {
+      event.args[event.num_args++] = a;
+    }
+  }
+  event.detail = std::move(detail);
+  Record(std::move(event));
+}
+
+void Tracer::RecordSpanEvent(TraceEvent event) {
+  if (!enabled()) {
+    return;
+  }
+  Record(std::move(event));
+}
+
+Tracer::Stats Tracer::GetStats() const {
+  Stats stats;
+  for (const Stripe& s : stripes_) {
+    MutexLock lock(&s.mutex);
+    stats.recorded += s.recorded;
+    stats.buffered += s.filled;
+  }
+  stats.dropped = stats.recorded - stats.buffered;
+  return stats;
+}
+
+std::vector<TraceEvent> Tracer::Drain() const {
+  std::vector<TraceEvent> events;
+  for (const Stripe& s : stripes_) {
+    MutexLock lock(&s.mutex);
+    const size_t cap = s.ring.size();
+    // Oldest retained event sits at `next` once the stripe has wrapped.
+    const size_t start = s.filled == cap ? s.next : 0;
+    for (size_t i = 0; i < s.filled; ++i) {
+      events.push_back(s.ring[(start + i) % cap]);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_ns != b.ts_ns) {
+      return a.ts_ns < b.ts_ns;
+    }
+    return a.seq < b.seq;
+  });
+  return events;
+}
+
+size_t Tracer::CountEvents(const std::string& name) const {
+  size_t count = 0;
+  for (const TraceEvent& e : Drain()) {
+    if (name == e.name) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Tracer::ExportJson() const {
+  const std::vector<TraceEvent> events = Drain();
+  std::string out;
+  out.reserve(events.size() * 128 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase == TracePhase::kComplete ? 'X' : 'i';
+    out += "\",\"ts\":";
+    AppendMicros(out, e.ts_ns);
+    if (e.phase == TracePhase::kComplete) {
+      out += ",\"dur\":";
+      AppendMicros(out, e.dur_ns);
+    } else {
+      out += ",\"s\":\"g\"";  // global-scope instant: full-height line in the UI
+    }
+    out += ",\"pid\":1,\"tid\":";
+    AppendNumber(out, e.tid);
+    if (e.num_args > 0 || !e.detail.empty()) {
+      out += ",\"args\":{";
+      for (int i = 0; i < e.num_args; ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        AppendEscaped(out, e.args[i].key);
+        out += "\":";
+        AppendNumber(out, e.args[i].value);
+      }
+      if (!e.detail.empty()) {
+        if (e.num_args > 0) {
+          out += ',';
+        }
+        out += "\"detail\":\"";
+        AppendEscaped(out, e.detail);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Clear() {
+  for (Stripe& s : stripes_) {
+    MutexLock lock(&s.mutex);
+    s.next = 0;
+    s.filled = 0;
+    s.recorded = 0;
+  }
+}
+
+}  // namespace flint

@@ -1,0 +1,200 @@
+// Structured event tracer (ISSUE 6): a bounded, lock-striped ring buffer of
+// timestamped instants and spans, exportable as Chrome trace_event JSON
+// (open in chrome://tracing or https://ui.perfetto.dev).
+//
+// Design constraints, in order:
+//
+//   1. Zero cost when off. Every emission site guards on a single relaxed
+//      atomic load (Tracer::enabled(), or the TraceSpan constructor doing the
+//      same); no strings are built, no locks touched, no clock read.
+//   2. Bounded memory. Events land in a fixed ring; when a stripe wraps, the
+//      oldest events in that stripe are overwritten and counted as dropped.
+//      A runaway storm can never OOM the process through its own telemetry.
+//   3. Cheap when on. The buffer is striped by thread: each recording thread
+//      locks only its stripe's mutex (a leaf lock — nothing is acquired
+//      under it), so executor threads don't serialize on one tracer lock.
+//
+// Event names and categories are `const char*` string literals by contract —
+// the ring stores the pointers, not copies. Up to kMaxArgs numeric args plus
+// one optional string arg ("detail") ride along per event; Chrome's trace
+// viewer shows them in the "args" pane.
+//
+// ExportJson() drains a consistent copy (stripe by stripe), sorts by
+// timestamp, and renders the JSON Array Format wrapped in an object:
+//   {"displayTimeUnit":"ms","traceEvents":[{"name":...,"ph":"X"|"i",...}]}
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+#include "src/common/units.h"
+
+namespace flint {
+
+// Toggle + sizing for the observability layer, applied via
+// Tracer::Global().Configure(). Tracing defaults to off; the registry is
+// always live (it is passive until snapshotted).
+struct ObsConfig {
+  bool tracing = false;
+  // Total event capacity across all stripes; oldest events are overwritten
+  // once a stripe fills.
+  size_t trace_capacity = 1 << 16;
+};
+
+// One numeric key/value attached to an event.
+struct TraceArg {
+  const char* key = "";
+  double value = 0.0;
+};
+
+enum class TracePhase : uint8_t {
+  kInstant,   // ph "i": a point in time (revocation, checkpoint, selection)
+  kComplete,  // ph "X": a span with a duration (stage, task)
+};
+
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  TracePhase phase = TracePhase::kInstant;
+  uint64_t ts_ns = 0;   // nanoseconds since the tracer epoch
+  uint64_t dur_ns = 0;  // spans only
+  uint32_t tid = 0;     // small per-thread id
+  uint64_t seq = 0;     // global record order, breaks timestamp ties
+  static constexpr int kMaxArgs = 6;
+  std::array<TraceArg, kMaxArgs> args{};
+  int num_args = 0;
+  std::string detail;  // optional string arg, rendered as args.detail
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = ObsConfig{}.trace_capacity);
+
+  // The process-wide tracer all subsystems record into.
+  static Tracer& Global();
+
+  // Applies the toggle and (re)sizes the ring. Resizing clears buffered
+  // events; call before the run, not during.
+  void Configure(const ObsConfig& config);
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds since the tracer epoch (process start, steady clock).
+  uint64_t NowNs() const;
+
+  // Both record calls are no-ops when tracing is off. `name`/`category` must
+  // be string literals (pointers are retained).
+  void RecordInstant(const char* name, const char* category,
+                     std::initializer_list<TraceArg> args = {}, std::string detail = {});
+  void RecordComplete(const char* name, const char* category, uint64_t start_ns,
+                      uint64_t dur_ns, std::initializer_list<TraceArg> args = {},
+                      std::string detail = {});
+  // Records a pre-built span event (used by TraceSpan); fills tid/seq.
+  void RecordSpanEvent(TraceEvent event);
+
+  struct Stats {
+    uint64_t recorded = 0;  // total events ever accepted
+    uint64_t dropped = 0;   // overwritten by ring wraparound
+    size_t buffered = 0;    // events currently retained
+  };
+  Stats GetStats() const;
+
+  // Copies out the retained events, oldest first (timestamp, then seq).
+  std::vector<TraceEvent> Drain() const;
+  // Retained events with this name (test + report helper).
+  size_t CountEvents(const std::string& name) const;
+
+  // Chrome trace_event JSON of the retained events.
+  std::string ExportJson() const;
+
+  void Clear();
+
+ private:
+  static constexpr size_t kNumStripes = 8;
+  struct Stripe {
+    mutable Mutex mutex{"Tracer::stripe_"};
+    std::vector<TraceEvent> ring GUARDED_BY(mutex);
+    size_t next GUARDED_BY(mutex) = 0;   // ring index of the next write
+    size_t filled GUARDED_BY(mutex) = 0; // events retained (<= ring.size())
+    uint64_t recorded GUARDED_BY(mutex) = 0;
+  };
+
+  void Record(TraceEvent event);
+  void ResizeLocked(size_t capacity);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_seq_{0};
+  const WallTime epoch_;
+  std::array<Stripe, kNumStripes> stripes_;
+};
+
+inline bool TracingEnabled() { return Tracer::Global().enabled(); }
+
+// Convenience: configure the global tracer from an ObsConfig.
+inline void ConfigureObservability(const ObsConfig& config) {
+  Tracer::Global().Configure(config);
+}
+
+// RAII span: captures the start time at construction, records a kComplete
+// event at destruction. When tracing is off at construction the span is
+// inert (one relaxed load, nothing else).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : active_(Tracer::Global().enabled()), name_(name), category_(category) {
+    if (active_) {
+      start_ns_ = Tracer::Global().NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      Tracer& tracer = Tracer::Global();
+      const uint64_t end_ns = tracer.NowNs();
+      TraceEvent event;
+      event.name = name_;
+      event.category = category_;
+      event.phase = TracePhase::kComplete;
+      event.ts_ns = start_ns_;
+      event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+      event.args = args_;
+      event.num_args = num_args_;
+      event.detail = std::move(detail_);
+      tracer.RecordSpanEvent(std::move(event));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  void AddArg(const char* key, double value) {
+    if (active_ && num_args_ < TraceEvent::kMaxArgs) {
+      args_[num_args_++] = {key, value};
+    }
+  }
+  void SetDetail(std::string detail) {
+    if (active_) {
+      detail_ = std::move(detail);
+    }
+  }
+
+ private:
+  const bool active_;
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_ = 0;
+  std::array<TraceArg, TraceEvent::kMaxArgs> args_{};
+  int num_args_ = 0;
+  std::string detail_;
+};
+
+}  // namespace flint
+
+#endif  // SRC_OBS_TRACE_H_

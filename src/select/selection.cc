@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flint {
+
+namespace {
+
+// Sort key for ranking evaluations by expected unit cost. Two degenerate
+// shapes must rank LAST instead of entering the comparator raw:
+//   - non-finite costs (an empty stats window can surface NaN/inf through
+//     the factor*price arithmetic) — NaN breaks std::sort's strict weak
+//     ordering, which is UB;
+//   - spot markets with no usable window data (mttf<=0 or avg_price<=0):
+//     the policy guards turn those into expected_unit_cost == 0, which would
+//     wrongly *win* the ranking with a free cost.
+// On-demand is exempt from the second rule (its price is authoritative).
+double RankCost(const MarketEvaluation& ev) {
+  if (!std::isfinite(ev.expected_unit_cost)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (ev.id != kOnDemandMarket && (ev.mttf_hours <= 0.0 || ev.avg_price <= 0.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return ev.expected_unit_cost;
+}
+
+}  // namespace
 
 double ServerSelector::BidFor(MarketId id) const {
   if (id == kOnDemandMarket) {
@@ -50,9 +77,43 @@ std::vector<MarketEvaluation> ServerSelector::EvaluateMarkets(
   }
   // The on-demand pool participates as a market with infinite MTTF (Sec 3.1.2).
   out.push_back(Evaluate(kOnDemandMarket, now, job));
+  uint64_t degenerate = 0;
+  for (const MarketEvaluation& ev : out) {
+    if (!std::isfinite(RankCost(ev))) {
+      ++degenerate;
+    }
+  }
+  if (degenerate > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("flint_select_degenerate_evaluations")
+        ->Increment(degenerate);
+  }
   std::sort(out.begin(), out.end(), [](const MarketEvaluation& a, const MarketEvaluation& b) {
-    return a.expected_unit_cost < b.expected_unit_cost;
+    const double ca = RankCost(a);
+    const double cb = RankCost(b);
+    if (ca != cb) {
+      return ca < cb;
+    }
+    return a.id < b.id;  // deterministic tie-break
   });
+  if (TracingEnabled() && !out.empty()) {
+    // Ranked list as "market:cost" pairs so a trace shows what the policy saw.
+    std::string ranking;
+    for (size_t i = 0; i < out.size() && i < 8; ++i) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s%d:%.4g", i > 0 ? " " : "", out[i].id,
+                    out[i].expected_unit_cost);
+      ranking += buf;
+    }
+    Tracer::Global().RecordInstant(
+        "market_selection", "market",
+        {{"candidates", static_cast<double>(out.size())},
+         {"best_market", static_cast<double>(out.front().id)},
+         {"best_unit_cost", out.front().expected_unit_cost},
+         {"best_mttf_hours", out.front().mttf_hours},
+         {"degenerate", static_cast<double>(degenerate)}},
+        std::move(ranking));
+  }
   return out;
 }
 
@@ -199,10 +260,11 @@ Result<MixEvaluation> ServerSelector::SelectInteractive(
   // 2. Sort candidates by expected unit cost (batch criterion). Evaluate
   // walks the full price history, so compute each cost exactly once instead
   // of inside the comparator (which re-evaluates O(n log n) times).
+  // RankCost keeps NaN/degenerate costs out of the pair comparator too.
   std::vector<std::pair<double, MarketId>> ranked;
   ranked.reserve(candidates.size());
   for (MarketId id : candidates) {
-    ranked.emplace_back(Evaluate(id, now, job).expected_unit_cost, id);
+    ranked.emplace_back(RankCost(Evaluate(id, now, job)), id);
   }
   std::sort(ranked.begin(), ranked.end());
   for (size_t i = 0; i < ranked.size(); ++i) {

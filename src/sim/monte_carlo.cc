@@ -7,6 +7,7 @@
 #include "src/checkpoint/checkpoint_policy.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 
 namespace flint {
 
@@ -25,6 +26,7 @@ McResult SimulateCanonicalJob(const CanonicalJob& job, const McConfig& config) {
   RunningStats revocation_stats;
   std::vector<double> factors;
   factors.reserve(static_cast<size_t>(config.trials));
+  int truncated = 0;
 
   for (int trial = 0; trial < config.trials; ++trial) {
     double elapsed = 0.0;
@@ -72,10 +74,23 @@ McResult SimulateCanonicalJob(const CanonicalJob& job, const McConfig& config) {
                                     ? rng.Exponential(mttf)
                                     : std::numeric_limits<double>::infinity());
     }
+    revocation_stats.Add(static_cast<double>(revocations));
+    if (done < job.base_hours) {
+      // Hit the safety horizon without finishing. Folding `elapsed /
+      // base_hours` into the stats would record the trial as "completed in
+      // 200x", deflating mean_factor exactly in the regimes where it should
+      // explode; count it separately instead.
+      ++truncated;
+      continue;
+    }
     const double factor = elapsed / job.base_hours;
     factor_stats.Add(factor);
-    revocation_stats.Add(static_cast<double>(revocations));
     factors.push_back(factor);
+  }
+  if (truncated > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("flint_mc_truncated_trials")
+        ->Increment(static_cast<uint64_t>(truncated));
   }
 
   McResult result;
@@ -84,6 +99,8 @@ McResult SimulateCanonicalJob(const CanonicalJob& job, const McConfig& config) {
   result.factor_stddev = factor_stats.stddev();
   result.p95_factor = Percentile(factors, 95.0);
   result.mean_revocations = revocation_stats.mean();
+  result.truncated_trials = truncated;
+  result.completed_trials = config.trials - truncated;
   return result;
 }
 

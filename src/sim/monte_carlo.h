@@ -27,10 +27,16 @@ struct McConfig {
 
 struct McResult {
   double mean_runtime_hours = 0.0;
-  double mean_factor = 1.0;       // mean runtime / base runtime
+  double mean_factor = 1.0;       // mean runtime / base runtime (completed trials only)
   double factor_stddev = 0.0;
   double p95_factor = 1.0;
   double mean_revocations = 0.0;
+  // Trials that hit the 200x-base safety horizon before finishing. They are
+  // excluded from the factor statistics above (counting them as "finished at
+  // 200x" would deflate mean_factor for regimes that effectively never
+  // finish); a nonzero count means the factor stats are right-censored.
+  int truncated_trials = 0;
+  int completed_trials = 0;
 };
 
 McResult SimulateCanonicalJob(const CanonicalJob& job, const McConfig& config);

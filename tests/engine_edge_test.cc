@@ -7,7 +7,9 @@
 #include <numeric>
 
 #include "src/checkpoint/ft_manager.h"
+#include "src/engine/shuffle_manager.h"
 #include "src/engine/typed_rdd_ops.h"
+#include "src/obs/metrics.h"
 #include "src/workloads/kmeans.h"
 #include "src/workloads/pagerank.h"
 #include "tests/test_util.h"
@@ -16,6 +18,48 @@ namespace flint {
 namespace {
 
 using testing::EngineHarness;
+
+// Regression for the registration-sentinel bug: RegisterShuffle used
+// outputs.empty() as "not yet registered", so a zero-map shuffle (whose
+// outputs vector is legitimately empty forever) was re-initialized on every
+// call, and a repeat registration with a different shape silently clobbered
+// num_reduces under live map outputs.
+TEST(ShuffleRegistryTest, ZeroMapShuffleIsCompleteAndFetchable) {
+  ShuffleManager sm;
+  sm.RegisterShuffle(7, /*num_maps=*/0, /*num_reduces=*/3);
+  EXPECT_TRUE(sm.IsComplete(7));
+  EXPECT_TRUE(sm.MissingMaps(7).empty());
+  auto buckets = sm.Fetch(7, 0);
+  ASSERT_TRUE(buckets.ok()) << buckets.status().ToString();
+  EXPECT_TRUE(buckets->empty());
+  // Identical repeat registrations are idempotent, not re-initializations.
+  sm.RegisterShuffle(7, 0, 3);
+  sm.RegisterShuffle(7, 0, 3);
+  EXPECT_EQ(sm.NumShuffles(), 1u);
+  EXPECT_TRUE(sm.IsComplete(7));
+}
+
+TEST(ShuffleRegistryTest, ConflictingReregistrationKeepsFirstShape) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter* reregistered =
+      MetricsRegistry::Global().GetCounter("flint_shuffle_reregistered");
+  ShuffleManager sm;
+  sm.RegisterShuffle(1, /*num_maps=*/2, /*num_reduces=*/2);
+  sm.RegisterShuffle(1, /*num_maps=*/5, /*num_reduces=*/9);  // differing duplicate
+  EXPECT_EQ(reregistered->Value(), 1u);
+  // First registration wins: still 2 map slots, not 5.
+  EXPECT_EQ(sm.MissingMaps(1).size(), 2u);
+  sm.RegisterShuffle(1, 2, 2);  // identical duplicate: clean no-op
+  EXPECT_EQ(reregistered->Value(), 1u);
+}
+
+TEST(ShuffleRegistryTest, UnknownShuffleFetchIsDataLossAndCounted) {
+  ShuffleManager sm;
+  EXPECT_FALSE(sm.IsComplete(99));
+  auto buckets = sm.Fetch(99, 0);
+  EXPECT_FALSE(buckets.ok());
+  EXPECT_EQ(sm.FetchWaits(), 1u);
+}
 
 TEST(EngineEdgeTest, EmptyRddThroughFullPipeline) {
   EngineHarness h;

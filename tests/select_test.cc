@@ -97,6 +97,68 @@ TEST(SelectorTest, EvaluationsSortedByExpectedCost) {
   EXPECT_TRUE(saw_on_demand);
 }
 
+TEST(SelectorTest, DegenerateWindowMarketRanksLastNotFirst) {
+  // "mirage": the price just dropped below the bid at `now`, but every sample
+  // in the history window (which ends at `now`, exclusive) is above it. The
+  // market passes admission (available now, and PriceNearAverage compares at
+  // MaxBid), yet WindowStats at the actual bid sees zero held time:
+  // avg_price = 0, mttf = 0, so expected_unit_cost = 1.0 * 0 = 0 — a "free"
+  // market that pre-sanitization won the ranking outright.
+  std::vector<double> prices(24 * 40, 5.0);
+  const size_t now_hour = 24 * 20;
+  prices[now_hour] = 0.5;
+  std::vector<MarketDesc> markets;
+  MarketDesc mirage;
+  mirage.name = "mirage";
+  mirage.on_demand_price = 1.0;
+  mirage.trace = testing::MakeTrace(std::move(prices));
+  markets.push_back(std::move(mirage));
+  markets.push_back(MakeSpikyMarket("honest", 1.0, 0.20, 0.20, 24 * 40, 0, 0));
+  Marketplace mp(std::move(markets), 1.0, 1);
+  ServerSelector selector(&mp, SelectionConfig{});
+  const SimTime now = Hours(static_cast<double>(now_hour)) + 0.5;
+
+  auto evs = selector.EvaluateMarkets(now, CheapCheckpointJob());
+  ASSERT_EQ(evs.size(), 3u);  // mirage, honest, on-demand
+  EXPECT_EQ(evs.front().id, 1);              // honest wins
+  EXPECT_EQ(evs.back().id, 0);               // mirage ranks last, not first
+  EXPECT_EQ(evs[1].id, kOnDemandMarket);     // even on-demand beats it
+
+  auto best = selector.SelectBatch(now, CheapCheckpointJob());
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->id, 1);
+}
+
+TEST(SelectorTest, ManyDegenerateEvaluationsSortSafely) {
+  // Several degenerate markets at once: pre-fix each contributed a 0 (or
+  // NaN, via factor * price arithmetic on an empty window) to std::sort's
+  // comparator. NaN breaks strict weak ordering — UB — so the regression is
+  // "ranking is deterministic and on-demand still wins".
+  std::vector<MarketDesc> markets;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> prices(24 * 40, 5.0);
+    prices[24 * 20] = 0.5;  // below-bid only at the probe hour
+    MarketDesc m;
+    m.name = "mirage-" + std::to_string(i);
+    m.on_demand_price = 1.0;
+    m.trace = testing::MakeTrace(std::move(prices));
+    markets.push_back(std::move(m));
+  }
+  Marketplace mp(std::move(markets), 1.0, 1);
+  ServerSelector selector(&mp, SelectionConfig{});
+  const SimTime now = Hours(24.0 * 20) + 0.5;
+  auto evs = selector.EvaluateMarkets(now, CheapCheckpointJob());
+  ASSERT_EQ(evs.size(), 5u);
+  EXPECT_EQ(evs.front().id, kOnDemandMarket);
+  // Degenerate entries keep a deterministic id order in the tail.
+  for (size_t i = 2; i < evs.size(); ++i) {
+    EXPECT_LT(evs[i - 1].id, evs[i].id);
+  }
+  auto best = selector.SelectBatch(now, CheapCheckpointJob());
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->id, kOnDemandMarket);
+}
+
 TEST(SelectorTest, SpotFleetBaselinesIgnoreRevocationCost) {
   Marketplace mp = TestMarketplace();
   ServerSelector selector(&mp, SelectionConfig{});

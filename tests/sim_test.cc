@@ -80,6 +80,56 @@ TEST(MonteCarloTest, MoreMarketsReduceSpread) {
   EXPECT_LT(m4.factor_stddev, m1.factor_stddev);
 }
 
+TEST(MonteCarloTest, HorizonTruncationIsCountedNotAveraged) {
+  // Recompute-only with MTTF far below the revocation cost: every revocation
+  // wipes all progress (recompute_multiplier 2 doubles the redo), so no
+  // trial can finish and all of them hit the 200x safety horizon. Pre-fix
+  // these were recorded as "completed in 200x", silently deflating
+  // mean_factor in exactly the regimes where it should diverge.
+  CanonicalJob job;
+  McConfig cfg;
+  cfg.checkpointing = false;
+  cfg.mttf_hours = 0.5;
+  cfg.trials = 40;
+  cfg.seed = 3;
+  const McResult r = SimulateCanonicalJob(job, cfg);
+  EXPECT_EQ(r.truncated_trials, cfg.trials);
+  EXPECT_EQ(r.completed_trials, 0);
+  // With no completed trials the factor stats are empty, not fabricated.
+  EXPECT_EQ(r.mean_factor, 0.0);
+  EXPECT_EQ(r.p95_factor, 0.0);
+}
+
+TEST(MonteCarloTest, MixedRegimeSeparatesTruncatedFromCompleted) {
+  // MTTF chosen so a recompute-only job completes sometimes but usually
+  // exhausts the horizon: both populations must be visible and the factor
+  // stats must come from completed trials alone (every one of which finished
+  // strictly inside the horizon).
+  CanonicalJob job;
+  McConfig cfg;
+  cfg.checkpointing = false;
+  cfg.mttf_hours = 1.4;
+  cfg.trials = 60;
+  cfg.seed = 17;
+  const McResult r = SimulateCanonicalJob(job, cfg);
+  EXPECT_EQ(r.truncated_trials + r.completed_trials, cfg.trials);
+  EXPECT_GT(r.truncated_trials, 0);
+  EXPECT_GT(r.completed_trials, 0);
+  EXPECT_GT(r.mean_factor, 1.0);
+  EXPECT_LT(r.p95_factor, 200.0);
+}
+
+TEST(MonteCarloTest, NoTruncationInHealthyRegimes) {
+  CanonicalJob job;
+  McConfig cfg;
+  cfg.mttf_hours = 20.0;
+  cfg.trials = 2000;
+  cfg.seed = 4;
+  const McResult r = SimulateCanonicalJob(job, cfg);
+  EXPECT_EQ(r.truncated_trials, 0);
+  EXPECT_EQ(r.completed_trials, cfg.trials);
+}
+
 TEST(MonteCarloTest, ForcedIntervalIsWorseThanDaly) {
   CanonicalJob job;
   McConfig opt;

@@ -6,6 +6,9 @@
 #   tools/check.sh --static   # static-analysis leg only
 #   tools/check.sh --bench    # benchmark leg only (Release micro_engine vs
 #                             # the committed BENCH_engine.json baseline)
+#   tools/check.sh --obs      # observability legs only: storm run with
+#                             # tracing on + trace validation, then the
+#                             # tracer-overhead gate on the fused narrow chain
 #
 # Legs:
 #   tier-1   cmake build + full ctest (the contract every PR must keep green).
@@ -29,6 +32,16 @@
 #            benchmark WARNS but never fails the run: wall-clock numbers vary
 #            across machines, and the baseline is refreshed deliberately with
 #            tools/bench.sh after intentional performance changes.
+#   obs-trace  flintctl storm run (6 nodes, 3 revocations) with --trace-out /
+#            --metrics-out, then tools/flint-report --validate proves the
+#            export is well-formed Chrome trace JSON containing stage,
+#            checkpoint (with delta + tau args), revocation, and
+#            market_selection events. Runs in the full pass (reuses the
+#            tier-1 build tree) and under --obs.
+#   obs-bench  Release micro_engine, BM_NarrowChainFusedTraced vs
+#            BM_NarrowChainFused (median of 3 repetitions): the tracer must
+#            add < 5% walltime to the fused narrow chain. Needs the Release
+#            build, so like bench it only runs under --obs.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -152,6 +165,82 @@ run_bench() {
   fi
 }
 
+run_obs_storm() {
+  echo "== obs-trace: storm run with tracing on =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "WARNING: python3 not found; skipping trace validation" >&2
+    record obs-trace "skipped (no python3)"
+    return
+  fi
+  local out="build/obs"
+  mkdir -p "${out}"
+  if ! { cmake -B build -S . >/dev/null \
+         && cmake --build build -j "${JOBS}" --target flintctl; }; then
+    record obs-trace "FAIL (build)"
+    return
+  fi
+  if ! ./build/tools/flintctl run --workload pagerank --nodes 6 --failures 3 \
+       --trace-out "${out}/storm-trace.json" \
+       --metrics-out "${out}/storm-metrics.prom"; then
+    record obs-trace "FAIL (storm run)"
+    return
+  fi
+  if python3 tools/flint-report --validate "${out}/storm-trace.json" \
+       --require stage,checkpoint,revocation,market_selection; then
+    record obs-trace pass
+  else
+    record obs-trace "FAIL (trace validation)"
+  fi
+}
+
+run_obs_overhead() {
+  echo "== obs-bench: tracer overhead on the fused narrow chain =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "WARNING: python3 not found; skipping overhead gate" >&2
+    record obs-bench "skipped (no python3)"
+    return
+  fi
+  if ! { cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
+         && cmake --build build-bench -j "${JOBS}" --target micro_engine; }; then
+    record obs-bench "FAIL (build)"
+    return
+  fi
+  local json="build-bench/narrow_chain_traced.json"
+  if ! ./build-bench/bench/micro_engine \
+       --benchmark_filter='BM_NarrowChainFused' \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       --benchmark_out="${json}" --benchmark_out_format=json; then
+    record obs-bench "FAIL (bench run)"
+    return
+  fi
+  python3 - "${json}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+med = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") == "median":
+        med[b.get("run_name", b.get("name"))] = b["real_time"]
+base = med.get("BM_NarrowChainFused/1048576/real_time")
+traced = med.get("BM_NarrowChainFusedTraced/1048576/real_time")
+if base is None or traced is None:
+    print("obs-bench: missing NarrowChainFused medians (have: %s)" % sorted(med))
+    sys.exit(1)
+overhead = traced / base - 1.0
+print("obs-bench: tracing-on fused chain walltime %+.2f%% vs tracing-off"
+      " (budget < 5%%)" % (overhead * 100.0))
+sys.exit(2 if overhead >= 0.05 else 0)
+PYEOF
+  local rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
+    record obs-bench pass
+  elif [[ "${rc}" -eq 2 ]]; then
+    record obs-bench "FAIL (tracer overhead >= 5%)"
+  else
+    record obs-bench "FAIL (overhead check)"
+  fi
+}
+
 if [[ "${MODE}" == "--static" ]]; then
   run_static
   summary
@@ -162,10 +251,17 @@ if [[ "${MODE}" == "--bench" ]]; then
   summary
 fi
 
+if [[ "${MODE}" == "--obs" ]]; then
+  run_obs_storm
+  run_obs_overhead
+  summary
+fi
+
 run_tier1
 
 if [[ "${MODE}" == "--fast" ]]; then
   record static "skipped (--fast)"
+  record obs-trace "skipped (--fast)"
   record tsan "skipped (--fast)"
   record asan "skipped (--fast)"
   record ubsan "skipped (--fast)"
@@ -173,11 +269,12 @@ if [[ "${MODE}" == "--fast" ]]; then
 fi
 
 run_static
+run_obs_storm
 
 # The TSan leg also runs the lock-order detector tests (Mutex*) and the storm
 # suite, whose fixture asserts the detector saw no cycle (FLINT_SANITIZE
 # builds define FLINT_MUTEX_DEBUG, so detection is on by default).
-run_sanitizer tsan thread build-tsan 'FaultInject*:DfsFault*:Mutex*'
+run_sanitizer tsan thread build-tsan 'FaultInject*:DfsFault*:Mutex*:Obs*'
 run_sanitizer asan address build-asan 'FtManagerTest*:CheckpointPolicyMath*:DfsFault*:Mutex*'
 run_sanitizer ubsan undefined build-ubsan 'FaultInject*:DfsFault*:FtManagerTest*:CheckpointPolicyMath*:Mutex*'
 

@@ -21,6 +21,8 @@
 #include <thread>
 
 #include "src/core/flint_cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/select/selection.h"
 #include "src/sim/monte_carlo.h"
 #include "src/sim/trace_sim.h"
@@ -135,10 +137,38 @@ int CmdMc(const Args& args) {
               cfg.checkpointing ? "on" : "off");
   std::printf("  mean runtime factor : %.4f (p95 %.4f)\n", r.mean_factor, r.p95_factor);
   std::printf("  mean revocations    : %.2f\n", r.mean_revocations);
+  if (r.truncated_trials > 0) {
+    std::printf("  truncated trials    : %d of %d hit the 200x horizon (factor stats "
+                "exclude them)\n",
+                r.truncated_trials, cfg.trials);
+  }
   return 0;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 int CmdRun(const Args& args) {
+  // Observability exports: --trace-out turns the tracer on for the run and
+  // writes Chrome trace_event JSON (chrome://tracing / Perfetto);
+  // --metrics-out writes a Prometheus text snapshot. Tracing stays off (and
+  // zero-cost) unless requested.
+  const std::string trace_out = args.Get("trace-out", "");
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!trace_out.empty()) {
+    ObsConfig obs;
+    obs.tracing = true;
+    obs.trace_capacity = static_cast<size_t>(args.GetInt("trace-capacity", 1 << 16));
+    ConfigureObservability(obs);
+  }
   FlintOptions options;
   options.nodes.cluster_size = static_cast<int>(args.GetInt("nodes", 10));
   options.nodes.policy = ParsePolicy(args.Get("policy", "batch"));
@@ -219,6 +249,28 @@ int CmdRun(const Args& args) {
   });
   if (chaos.joinable()) {
     chaos.join();
+    // The injected revocations trail their warnings by the model warning
+    // window; let them (and the replacement churn) land so the export shows
+    // the full storm, not just its leading edge.
+    const double warning_s = options.time.ToEngineSeconds(options.time.revocation_warning);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int>(warning_s * 1000.0) + 200));
+    cluster.cluster().DrainEvents();
+  }
+  // Export while the cluster (and its metric collectors) is still alive; a
+  // failed run's telemetry is exactly what you want to look at.
+  if (!trace_out.empty()) {
+    const Tracer::Stats stats = Tracer::Global().GetStats();
+    if (WriteFile(trace_out, Tracer::Global().ExportJson())) {
+      std::printf("trace: %llu events to %s (%llu dropped)\n",
+                  static_cast<unsigned long long>(stats.buffered), trace_out.c_str(),
+                  static_cast<unsigned long long>(stats.dropped));
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (WriteFile(metrics_out, MetricsRegistry::Global().FormatPrometheusText())) {
+      std::printf("metrics: snapshot to %s\n", metrics_out.c_str());
+    }
   }
   if (!report.status.ok()) {
     std::fprintf(stderr, "job failed: %s\n", report.status.ToString().c_str());
@@ -271,6 +323,7 @@ int Usage() {
                "  mc       --mttf H --markets M --trials N [--no-checkpoint]\n"
                "  run      --workload pagerank|kmeans|als|tpch --policy P\n"
                "           --nodes N --failures K --mttf H [--no-checkpoint]\n"
+               "           --trace-out FILE --metrics-out FILE --trace-capacity N\n"
                "  trace    --out FILE --volatility calm|moderate|volatile|extreme\n"
                "           --days D --od PRICE --seed S\n");
   return 2;
