@@ -1,7 +1,8 @@
-// Small statistics toolkit: running moments, percentiles, ECDF, Pearson
-// correlation, and mean aggregations. Used by the trace analyzer (MTTF,
-// correlation heatmaps), the selection policies (variance of running time),
-// and the benchmark harnesses (reporting).
+// Small statistics toolkit: running moments, streaming quantiles, percentiles,
+// ECDF, Pearson correlation, and mean aggregations. Used by the trace analyzer
+// (MTTF, correlation heatmaps), the selection policies (variance of running
+// time), the scheduler's straggler deadlines (streaming P50/P95 of task
+// runtimes), and the benchmark harnesses (reporting).
 
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
@@ -33,6 +34,34 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+};
+
+// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): tracks one
+// quantile in O(1) memory without storing the sample. Exact until five
+// observations have arrived (it interpolates over the stored sorted five),
+// then maintains five markers whose heights approximate the quantile. Used by
+// the DAG scheduler to derive per-task speculation deadlines from the running
+// P50/P95 of attempt runtimes within a stage.
+class P2Quantile {
+ public:
+  // `q` in (0, 1), e.g. 0.5 for the median, 0.95 for the tail.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  size_t count() const { return count_; }
+  // Current estimate; 0 before the first observation.
+  double value() const;
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  size_t count_ = 0;
+  double heights_[5] = {};   // marker heights (ascending once initialized)
+  double positions_[5] = {}; // actual marker positions (1-based)
+  double desired_[5] = {};   // desired marker positions
+  double increments_[5] = {};
 };
 
 // Percentile of a sample (linear interpolation between order statistics).

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnavailable,   // transient: e.g. node revoked mid-operation
   kDataLoss,      // e.g. cached partition evicted and origin unavailable
   kCancelled,
+  kDeadlineExceeded,  // a bounded wait expired, e.g. the stage watchdog
   kInternal,
 };
 
@@ -79,6 +80,9 @@ inline Status Unavailable(std::string msg) {
 }
 inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
 inline Status Cancelled(std::string msg) { return Status(StatusCode::kCancelled, std::move(msg)); }
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
 inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
 
 // Result<T>: either a value or a non-OK Status. [[nodiscard]] for the same

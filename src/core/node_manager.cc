@@ -28,10 +28,25 @@ NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToler
         counter("flint_node_replacements", replacements_.load(std::memory_order_relaxed));
         counter("flint_node_warnings", warnings_seen_.load(std::memory_order_relaxed));
         counter("flint_node_revocations", revocations_seen_.load(std::memory_order_relaxed));
+        counter("flint_node_quarantines", quarantines_.load(std::memory_order_relaxed));
+        counter("flint_node_unquarantines", unquarantines_.load(std::memory_order_relaxed));
         bool started = false;
         {
           ReaderMutexLock lock(&mutex_);
           started = started_;
+          if (!health_.empty()) {
+            double min_score = 1.0;
+            double quarantined_now = 0.0;
+            for (const auto& [id, h] : health_) {
+              min_score = std::min(min_score, h.score);
+              if (h.quarantined) {
+                quarantined_now += 1.0;
+              }
+            }
+            out.push_back({"flint_node_health_min", MetricType::kGauge, min_score});
+            out.push_back(
+                {"flint_node_quarantined_now", MetricType::kGauge, quarantined_now});
+          }
         }
         if (started) {
           out.push_back({"flint_node_total_cost", MetricType::kGauge, TotalCost()});
@@ -245,6 +260,8 @@ void NodeManager::OnNodeRevoked(const NodeInfo& node) {
     // Revocation without a warning (e.g. scripted hard kill): the warning
     // path never requested a replacement, so do it now.
     need_replacement = warned_.insert(node.node_id).second;
+    // A revoked node's health history is moot; its replacement starts fresh.
+    health_.erase(node.node_id);
   }
   if (need_replacement) {
     ProvisionReplacement(node.market);
@@ -261,6 +278,117 @@ void NodeManager::OnNodeAdded(const NodeInfo& node) {
     replacement_for_.erase(it);
   }
   PruneRevokedLocked(Now());
+}
+
+void NodeManager::OnTaskAttemptFinished(NodeId node, double seconds, bool success) {
+  if (!config_.health.enabled) {
+    return;
+  }
+  double sample = 0.0;
+  if (success) {
+    MutexLock lock(&mutex_);
+    // Relative-runtime sample: a node matching the cluster mean scores ~1, a
+    // node k times slower scores ~1/k. The first sample (no mean yet) and
+    // instantaneous runtimes count as healthy.
+    sample = (seconds <= 0.0 || runtime_stats_.count() == 0)
+                 ? 1.0
+                 : std::clamp(runtime_stats_.mean() / seconds, 0.0, 1.0);
+    runtime_stats_.Add(seconds);
+  }
+  AddHealthSample(node, sample);
+}
+
+void NodeManager::OnTaskDeadlineMiss(NodeId node) {
+  if (!config_.health.enabled) {
+    return;
+  }
+  AddHealthSample(node, 0.0);
+}
+
+void NodeManager::AddHealthSample(NodeId node, double sample) {
+  const NodeHealthConfig& hc = config_.health;
+  bool want_quarantine = false;
+  double score = 1.0;
+  {
+    MutexLock lock(&mutex_);
+    NodeHealth& h = health_[node];
+    h.score = (1.0 - hc.ewma_alpha) * h.score + hc.ewma_alpha * sample;
+    ++h.samples;
+    score = h.score;
+    if (!h.quarantined && h.samples >= hc.min_samples && h.score < hc.quarantine_threshold) {
+      h.quarantined = true;  // tentative until the context accepts it
+      want_quarantine = true;
+    }
+  }
+  if (want_quarantine) {
+    ApplyQuarantine(node, score);
+  }
+}
+
+void NodeManager::ApplyQuarantine(NodeId node, double score) {
+  if (ctx_->SetNodeQuarantined(node, true)) {
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+    FLINT_ILOG() << "node " << node << " quarantined (health score " << score << ")";
+    Tracer::Global().RecordInstant("node_quarantined", "cluster",
+                                   {{"node", static_cast<double>(node)}, {"score", score}});
+    timers_.ScheduleAfter(WallDuration(config_.health.decay_interval_seconds),
+                          [this, node] { DecayHealth(node); });
+    return;
+  }
+  // Refused: this is the last schedulable node. Roll the mark back and lift
+  // the score to the threshold so the next bad sample retries instead of
+  // hammering the context on every completion.
+  MutexLock lock(&mutex_);
+  auto it = health_.find(node);
+  if (it != health_.end()) {
+    it->second.quarantined = false;
+    it->second.score = std::max(it->second.score, config_.health.quarantine_threshold);
+  }
+}
+
+void NodeManager::DecayHealth(NodeId node) {
+  const NodeHealthConfig& hc = config_.health;
+  bool recovered = false;
+  double score = 1.0;
+  {
+    MutexLock lock(&mutex_);
+    auto it = health_.find(node);
+    if (it == health_.end() || !it->second.quarantined) {
+      return;  // revoked or already lifted
+    }
+    NodeHealth& h = it->second;
+    h.score += hc.decay_rate * (1.0 - h.score);
+    score = h.score;
+    if (h.score >= hc.recover_threshold) {
+      h.quarantined = false;
+      // Require a fresh run of bad samples before re-quarantining.
+      h.samples = 0;
+      recovered = true;
+    }
+  }
+  if (recovered) {
+    ctx_->SetNodeQuarantined(node, false);
+    unquarantines_.fetch_add(1, std::memory_order_relaxed);
+    FLINT_ILOG() << "node " << node << " recovered from quarantine (health score " << score
+                 << ")";
+    Tracer::Global().RecordInstant("node_unquarantined", "cluster",
+                                   {{"node", static_cast<double>(node)}, {"score", score}});
+  } else {
+    timers_.ScheduleAfter(WallDuration(hc.decay_interval_seconds),
+                          [this, node] { DecayHealth(node); });
+  }
+}
+
+double NodeManager::HealthScore(NodeId node) const {
+  ReaderMutexLock lock(&mutex_);
+  auto it = health_.find(node);
+  return it == health_.end() ? 1.0 : it->second.score;
+}
+
+bool NodeManager::Quarantined(NodeId node) const {
+  ReaderMutexLock lock(&mutex_);
+  auto it = health_.find(node);
+  return it != health_.end() && it->second.quarantined;
 }
 
 double NodeManager::TotalCost() const {

@@ -21,6 +21,7 @@
 #include "src/checkpoint/ft_manager.h"
 #include "src/cluster/timer_queue.h"
 #include "src/common/mutex.h"
+#include "src/common/stats.h"
 #include "src/common/thread_annotations.h"
 #include "src/engine/context.h"
 #include "src/engine/observer.h"
@@ -28,6 +29,23 @@
 #include "src/select/selection.h"
 
 namespace flint {
+
+// Node-health scoring (DESIGN.md "Straggler mitigation"). Every finished
+// task attempt updates an EWMA health score per node: a success contributes
+// its runtime relative to the cluster mean (a node 8x slower than its peers
+// scores ~0.125), a failure or deadline miss contributes 0. Nodes whose
+// score sinks below quarantine_threshold (after min_samples) are excluded
+// from scheduling — a reversible drain — and recover by timer-driven decay
+// back toward 1.0, rejoining once the score passes recover_threshold.
+struct NodeHealthConfig {
+  bool enabled = true;
+  double ewma_alpha = 0.3;            // weight of the newest sample
+  double quarantine_threshold = 0.35; // quarantine below this score
+  double recover_threshold = 0.7;     // un-quarantine once decay reaches this
+  int min_samples = 4;                // samples before quarantine can trigger
+  double decay_interval_seconds = 0.25;  // quarantined-score recovery tick
+  double decay_rate = 0.15;           // score += rate * (1 - score) per tick
+};
 
 struct NodeManagerConfig {
   int cluster_size = 10;
@@ -46,6 +64,7 @@ struct NodeManagerConfig {
   // replacement joins, or this much simulated time passes, whichever comes
   // first (a storm elsewhere must not re-admit a market still in turmoil).
   SimDuration revocation_exclusion_cooldown = Hours(1.0);
+  NodeHealthConfig health;
 };
 
 class NodeManager : public EngineObserver {
@@ -75,16 +94,28 @@ class NodeManager : public EngineObserver {
   std::vector<MarketId> ExcludedMarkets() const;
   const ServerSelector& selector() const { return selector_; }
 
+  // Current EWMA health score of `node` (1.0 when unknown) and whether the
+  // health scorer holds it in quarantine.
+  double HealthScore(NodeId node) const;
+  bool Quarantined(NodeId node) const;
+
   // EngineObserver:
   void OnNodeWarning(const NodeInfo& node) override;
   void OnNodeRevoked(const NodeInfo& node) override;
   void OnNodeAdded(const NodeInfo& node) override;
+  void OnTaskAttemptFinished(NodeId node, double seconds, bool success) override;
+  void OnTaskDeadlineMiss(NodeId node) override;
 
  private:
   struct LeaseRecord {
     Lease lease;
     bool open = true;
     SimTime end = 0.0;
+  };
+  struct NodeHealth {
+    double score = 1.0;
+    int samples = 0;
+    bool quarantined = false;
   };
 
   // Picks markets for the initial cluster per the policy. Returns one entry
@@ -99,6 +130,16 @@ class NodeManager : public EngineObserver {
   void ScheduleMarketRevocation(NodeId node, SimTime revocation_time);
   // Mutates a LeaseRecord living inside leases_.
   double CloseLeaseCost(LeaseRecord& rec, SimTime end) REQUIRES(mutex_);
+  // Folds one health sample (1.0 = healthy, 0.0 = failure/miss) into the
+  // node's EWMA and quarantines it when the score sinks below threshold.
+  void AddHealthSample(NodeId node, double sample);
+  // Actually excludes `node` from scheduling (outside mutex_: the context's
+  // node lock orders after ours) and arms the recovery decay timer. Rolls
+  // the mark back if the context refuses (last schedulable node).
+  void ApplyQuarantine(NodeId node, double score);
+  // Timer tick: decays a quarantined node's score toward 1.0 and lifts the
+  // quarantine once it crosses the recovery threshold.
+  void DecayHealth(NodeId node);
 
   FlintContext* ctx_;
   Marketplace* marketplace_;
@@ -120,6 +161,10 @@ class NodeManager : public EngineObserver {
   // Pending replacement node -> the market whose revocation it restores.
   std::unordered_map<NodeId, MarketId> replacement_for_ GUARDED_BY(mutex_);
   double closed_cost_ GUARDED_BY(mutex_) = 0.0;
+  // Per-node health scores plus the cluster-wide successful-runtime mean the
+  // relative-runtime samples are measured against.
+  std::unordered_map<NodeId, NodeHealth> health_ GUARDED_BY(mutex_);
+  RunningStats runtime_stats_ GUARDED_BY(mutex_);
 
   // Lease-lifecycle accounting, exported as flint_node_* metrics.
   std::atomic<uint64_t> acquisitions_{0};       // leases acquired (initial + replacement)
@@ -127,6 +172,8 @@ class NodeManager : public EngineObserver {
   std::atomic<uint64_t> replacements_{0};       // replacement provisions requested
   std::atomic<uint64_t> warnings_seen_{0};      // revocation warnings observed
   std::atomic<uint64_t> revocations_seen_{0};   // revocations observed
+  std::atomic<uint64_t> quarantines_{0};        // health quarantines imposed
+  std::atomic<uint64_t> unquarantines_{0};      // health quarantines lifted
 
   TimerQueue timers_;
 

@@ -54,6 +54,14 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
         AppendCounter(out, "flint_fusion_fused_chains", c.fused_chains.load());
         AppendCounter(out, "flint_fusion_operators_elided",
                       c.fused_operators_elided.load());
+        AppendCounter(out, "flint_engine_tasks_speculated", c.tasks_speculated.load());
+        AppendCounter(out, "flint_engine_speculative_wins", c.speculative_wins.load());
+        AppendCounter(out, "flint_engine_task_deadline_misses",
+                      c.task_deadline_misses.load());
+        AppendCounter(out, "flint_engine_task_retries", c.task_retries.load());
+        AppendCounter(out, "flint_engine_tasks_cancelled", c.tasks_cancelled.load());
+        AppendCounter(out, "flint_engine_stage_watchdog_timeouts",
+                      c.stage_watchdog_timeouts.load());
         AppendGauge(out, "flint_engine_compute_seconds",
                     static_cast<double>(c.compute_nanos.load()) * 1e-9);
         AppendGauge(out, "flint_engine_acquisition_wait_seconds",
@@ -331,11 +339,45 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::SchedulableNodeStates() co
   out.reserve(nodes_.size());
   for (const auto& [id, node] : nodes_) {
     if (!node->revoked.load(std::memory_order_acquire) &&
-        !node->draining.load(std::memory_order_acquire)) {
+        !node->draining.load(std::memory_order_acquire) &&
+        !node->quarantined.load(std::memory_order_acquire)) {
       out.push_back(node);
     }
   }
   return out;
+}
+
+bool FlintContext::SetNodeQuarantined(NodeId id, bool quarantined) {
+  std::shared_ptr<NodeState> node;
+  {
+    MutexLock lock(&nodes_mutex_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      return false;
+    }
+    node = it->second;
+    if (quarantined) {
+      if (node->quarantined.load(std::memory_order_acquire)) {
+        return false;
+      }
+      // Never quarantine the last schedulable node: a cluster where nothing
+      // accepts tasks wedges every stage loop. Better to keep dispatching to
+      // a slow node than to no node.
+      node->quarantined.store(true, std::memory_order_release);
+      if (!HasSchedulableNodeLocked()) {
+        node->quarantined.store(false, std::memory_order_release);
+        return false;
+      }
+      return true;
+    }
+    if (!node->quarantined.load(std::memory_order_acquire)) {
+      return false;
+    }
+    node->quarantined.store(false, std::memory_order_release);
+  }
+  // A node rejoined the schedulable set; wake any parked stage loop.
+  node_added_cv_.NotifyAll();
+  return true;
 }
 
 std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
@@ -371,7 +413,8 @@ void FlintContext::DrainExecutors() {
 bool FlintContext::HasSchedulableNodeLocked() const {
   for (const auto& [id, node] : nodes_) {
     if (!node->revoked.load(std::memory_order_acquire) &&
-        !node->draining.load(std::memory_order_acquire)) {
+        !node->draining.load(std::memory_order_acquire) &&
+        !node->quarantined.load(std::memory_order_acquire)) {
       return true;
     }
   }
@@ -661,6 +704,18 @@ void FlintContext::NotifyPartitionComputed(const RddPtr& rdd, int partition, dou
     if (first_full_materialization) {
       obs->OnRddMaterialized(rdd);
     }
+  }
+}
+
+void FlintContext::NotifyTaskAttemptFinished(NodeId node, double seconds, bool success) {
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnTaskAttemptFinished(node, seconds, success);
+  }
+}
+
+void FlintContext::NotifyTaskDeadlineMiss(NodeId node) {
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnTaskDeadlineMiss(node);
   }
 }
 

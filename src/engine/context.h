@@ -34,6 +34,31 @@ namespace flint {
 class TaskContext;
 class DagScheduler;
 
+// Straggler mitigation (DESIGN.md "Straggler mitigation"). The scheduler
+// tracks per-stage task-runtime quantiles; once `quorum` attempts of a stage
+// have finished, every outstanding attempt gets a deadline of
+// max(min_deadline_seconds, spec_multiplier x stage P50). An attempt past
+// its deadline gets a speculative duplicate on a different node; first
+// success wins and the loser is cancelled cooperatively. Failed attempts are
+// retried with exponential backoff up to max_attempts_per_task before the
+// stage surfaces the last error, and the stage watchdog bounds the whole
+// loop so a hung cluster turns into a clean kDeadlineExceeded.
+struct SpeculationConfig {
+  bool enabled = true;
+  // Completed attempts of the stage required before deadlines arm (the
+  // quantile estimate is noise below this).
+  int quorum = 3;
+  double spec_multiplier = 3.0;     // deadline = spec_multiplier x stage P50
+  double min_deadline_seconds = 0.2;  // deadline floor for very short stages
+  // Attempts per task slot (including the first) before the stage gives up
+  // and surfaces the last failure. Revocation-killed attempts do not count.
+  int max_attempts_per_task = 4;
+  double retry_backoff_seconds = 0.05;  // doubles per prior failure
+  // Hard bound on one stage's wall-clock time, watchdog for hung tasks that
+  // speculation cannot save (e.g. every replica hangs). <= 0 disables.
+  double stage_watchdog_seconds = 120.0;
+};
+
 struct EngineConfig {
   BlockManagerConfig block_defaults;
   // Cross-node cache reads pay bytes/bandwidth (cluster network).
@@ -53,6 +78,7 @@ struct EngineConfig {
   // inside this budget; exhausting it abandons the write (the FT manager's
   // degraded-mode trigger) or falls the restore back to lineage.
   DfsRetryPolicy checkpoint_retry;
+  SpeculationConfig speculation;
 };
 
 // Monotonic counters for experiment reporting. All fields are cumulative
@@ -79,6 +105,13 @@ struct EngineCounters {
   // Operator-fusion accounting (narrow-chain streaming, see fusion.h):
   std::atomic<uint64_t> fused_chains{0};             // fused chain executions
   std::atomic<uint64_t> fused_operators_elided{0};   // intermediate partitions not built
+  // Straggler-mitigation accounting (see SpeculationConfig):
+  std::atomic<uint64_t> tasks_speculated{0};        // duplicate attempts launched
+  std::atomic<uint64_t> speculative_wins{0};        // duplicates that beat the original
+  std::atomic<uint64_t> task_deadline_misses{0};    // attempts that blew their deadline
+  std::atomic<uint64_t> task_retries{0};            // failed attempts re-submitted
+  std::atomic<uint64_t> tasks_cancelled{0};         // attempt cancellations issued
+  std::atomic<uint64_t> stage_watchdog_timeouts{0};  // stages aborted by the watchdog
 };
 
 // Engine-side state of one node. Retired (revoked) nodes are kept until
@@ -91,6 +124,10 @@ struct NodeState {
   // Set on the revocation warning: the node keeps executing (and serving its
   // cache) until revocation, but its pool stops accepting new tasks.
   std::atomic<bool> draining{false};
+  // Set by the node-health scorer: the node is alive and keeps its cache,
+  // but the scheduler stops placing new attempts on it until the score
+  // recovers. Unlike draining, quarantine is reversible.
+  std::atomic<bool> quarantined{false};
 };
 
 class FlintContext : public ClusterListener {
@@ -150,9 +187,14 @@ class FlintContext : public ClusterListener {
   // --- node access for the scheduler / checkpointing ---
   std::vector<std::shared_ptr<NodeState>> LiveNodeStates() const;
   // Live nodes that also accept new tasks (not draining under a revocation
-  // warning). The scheduler dispatches only to these.
+  // warning, not quarantined by the health scorer). The scheduler dispatches
+  // only to these.
   std::vector<std::shared_ptr<NodeState>> SchedulableNodeStates() const;
   std::shared_ptr<NodeState> GetNodeState(NodeId id) const;
+  // Marks `id` quarantined (excluded from scheduling) or lifts the mark.
+  // Refuses to quarantine the last schedulable node — something must keep
+  // accepting tasks — and returns whether the change was applied.
+  bool SetNodeQuarantined(NodeId id, bool quarantined);
   // Blocks until at least one live node accepts new tasks; accumulates
   // acquisition wait.
   void WaitForLiveNode();
@@ -204,6 +246,9 @@ class FlintContext : public ClusterListener {
   // --- event plumbing (called from TaskContext / scheduler) ---
   void NotifyPartitionComputed(const RddPtr& rdd, int partition, double seconds);
   void ChargeOriginRead(uint64_t bytes) const;
+  // Straggler telemetry fan-out to observers (node-health scorer).
+  void NotifyTaskAttemptFinished(NodeId node, double seconds, bool success);
+  void NotifyTaskDeadlineMiss(NodeId node);
 
   // --- fault-injection probe (src/inject/) ---
   // At most one probe; set before running jobs, clear with nullptr. The
@@ -213,6 +258,14 @@ class FlintContext : public ClusterListener {
     if (EngineProbe* probe = probe_.load(std::memory_order_acquire)) {
       probe->AtPoint(point);
     }
+  }
+  // Announces a starting task attempt to the probe and returns its fault
+  // directive (benign when no probe is installed).
+  TaskFaultDirective FireTaskProbe(const TaskRunInfo& info) {
+    if (EngineProbe* probe = probe_.load(std::memory_order_acquire)) {
+      return probe->OnTaskRun(info);
+    }
+    return TaskFaultDirective{};
   }
 
   // ClusterListener:

@@ -1,14 +1,18 @@
 #include "src/engine/dag_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/log.h"
 #include "src/common/mutex.h"
+#include "src/common/stats.h"
 #include "src/common/thread_annotations.h"
 #include "src/engine/context.h"
 #include "src/engine/task_context.h"
@@ -18,22 +22,30 @@ namespace flint {
 
 // Collects task outcomes from executor threads back to the scheduler.
 // Defined at namespace scope (not anonymous) so StageLoopSpec callbacks in
-// the header can name it by forward declaration.
+// the header can name it by forward declaration. Held through shared_ptr by
+// the stage loop AND every in-flight task lambda: the loop may return (a
+// watchdog timeout, a fatal error, or a win whose cancelled loser is still
+// draining) while attempts are still running, and their final Push must land
+// in live memory.
 class OutcomeQueue {
  public:
   void Push(DagScheduler::TaskOutcome outcome) {
-    // Notify while holding the lock: the scheduler destroys this queue as
-    // soon as it has popped the final outcome, so the notify must complete
-    // before the popper can observe the push.
     MutexLock lock(&mutex_);
     queue_.push_back(std::move(outcome));
     cv_.NotifyOne();
   }
 
-  DagScheduler::TaskOutcome Pop() {
+  // Waits up to `timeout` for an outcome; nullopt when none arrived in time
+  // (the stage loop's tick for deadline scans and the watchdog).
+  std::optional<DagScheduler::TaskOutcome> PopWithTimeout(WallDuration timeout) {
+    const WallTime deadline =
+        WallClock::now() + std::chrono::duration_cast<WallClock::duration>(timeout);
     MutexLock lock(&mutex_);
     while (queue_.empty()) {
-      cv_.Wait(mutex_);
+      if (WallClock::now() >= deadline) {
+        return std::nullopt;
+      }
+      cv_.WaitUntil(mutex_, deadline);
     }
     DagScheduler::TaskOutcome outcome = std::move(queue_.front());
     queue_.pop_front();
@@ -56,12 +68,63 @@ WallDuration StallBackoff(int stalled_rounds) {
   return WallDuration(50e-6 * static_cast<double>(1 << exponent));
 }
 
+WallClock::duration ToClockDuration(double seconds) {
+  return std::chrono::duration_cast<WallClock::duration>(WallDuration(seconds));
+}
+
+// Enforces the pre-compute part of a fault directive: a hang parks the
+// attempt until its cancellation token fires (the cooperative model — a hung
+// executor thread is still a thread, it just never finishes its task), and
+// an injected failure aborts the attempt immediately. Returns false with
+// *status set when the attempt must not proceed to compute.
+bool RunFaultPreamble(TaskContext& tc, const TaskFaultDirective& directive, Status* status) {
+  if (directive.hang) {
+    while (!tc.Cancelled()) {
+      std::this_thread::sleep_for(WallDuration(200e-6));
+    }
+    *status = Unavailable("task attempt cancelled while hung");
+    return false;
+  }
+  if (!directive.fail.ok()) {
+    *status = directive.fail;
+    return false;
+  }
+  return true;
+}
+
+// Enforces kSlowNode after the real compute: stretches the attempt's elapsed
+// time by (slow_factor - 1), polling cancellation so a speculative winner
+// can reap the straggler early. Returns false when cancelled mid-stretch.
+bool StretchCompute(TaskContext& tc, const TaskFaultDirective& directive, WallTime t0) {
+  if (directive.slow_factor <= 1.0) {
+    return true;
+  }
+  const double elapsed = WallDuration(WallClock::now() - t0).count();
+  const WallTime until =
+      WallClock::now() + ToClockDuration(elapsed * (directive.slow_factor - 1.0));
+  while (WallClock::now() < until) {
+    if (tc.Cancelled()) {
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::min(WallDuration(1e-3), WallDuration(until - WallClock::now())));
+  }
+  return true;
+}
+
 }  // namespace
 
-std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partition) {
+std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partition,
+                                                  NodeId exclude) {
   auto live = ctx_->SchedulableNodeStates();
+  if (exclude >= 0) {
+    std::erase_if(live, [exclude](const std::shared_ptr<NodeState>& node) {
+      return node->info.node_id == exclude;
+    });
+  }
   if (live.empty()) {
-    // Whole cluster revoked or draining. Parking belongs to the stage loop
+    // Whole cluster revoked or draining (or the only survivor is the node a
+    // speculative duplicate must avoid). Parking belongs to the stage loop
     // (which counts it separately from convergence attempts), not here.
     return nullptr;
   }
@@ -97,60 +160,344 @@ Status DagScheduler::RecoverShuffle(int shuffle_id, int depth) {
 }
 
 Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
+  const SpeculationConfig& spec_cfg = ctx_->config().speculation;
+  EngineCounters& counters = ctx_->counters();
+
+  // One launched attempt, keyed by attempt id until its outcome is consumed.
+  struct AttemptState {
+    int slot = -1;
+    std::shared_ptr<NodeState> node;
+    WallTime submitted{};
+    CancelToken cancel;
+    bool speculative = false;
+    // The deadline already fired for this attempt (duplicate launched or at
+    // least attempted); never fires twice.
+    bool deadline_missed = false;
+  };
+  // Per-slot attempt bookkeeping, persistent across dispatch sweeps.
+  struct SlotState {
+    int attempts_started = 0;
+    int failures = 0;  // budgeted failures (not node deaths, not cancellations)
+    int outstanding = 0;
+    WallTime next_eligible{};  // retry backoff gate
+    bool done = false;
+  };
+  std::unordered_map<uint64_t, AttemptState> attempts;
+  std::unordered_map<int, SlotState> slots;
+  uint64_t next_attempt_id = 1;
+  // Last successful completion per node (first submission time until then).
+  // An attempt's deadline runs from max(its submission, this mark): a node
+  // that is steadily draining its queue never looks expired just because the
+  // queue is deep, while a slow or hung node indicts everything it holds —
+  // without this gate, queue wait on healthy nodes triggers a speculation
+  // storm that floods the cluster with duplicates.
+  std::unordered_map<NodeId, WallTime> node_progress;
+
+  // Streaming quantiles over winning-attempt service times: completion minus
+  // max(submission, the node's previous completion), i.e. the slice of wall
+  // clock the task actually occupied its node, not its wait in queue. P50
+  // drives the speculation deadline once `quorum` wins have been observed;
+  // P95 rides along for telemetry.
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+
+  auto outcomes = std::make_shared<OutcomeQueue>();
+
+  const WallTime stage_start = WallClock::now();
+  const bool watchdog_on = spec_cfg.stage_watchdog_seconds > 0.0;
+  const WallTime stage_deadline =
+      watchdog_on ? stage_start + ToClockDuration(spec_cfg.stage_watchdog_seconds)
+                  : WallTime::max();
+
+  // Every exit path cancels whatever is still in flight: losing speculative
+  // duplicates, hung attempts, and watchdog-abandoned tasks must all observe
+  // their token and release their executor thread.
+  auto cancel_outstanding = [&attempts, &counters] {
+    for (auto& [id, attempt] : attempts) {
+      if (!attempt.cancel->exchange(true, std::memory_order_acq_rel)) {
+        counters.tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
   int stalled_rounds = 0;
   for (;;) {
     if (spec.complete()) {
+      cancel_outstanding();
       return Status::Ok();
     }
     if (stalled_rounds > spec.max_stalled_rounds) {
+      cancel_outstanding();
       return Internal(std::string(spec.what) + " failed to converge");
     }
     ctx_->FireProbe(EnginePoint::kSchedulerRound);
-    FLINT_RETURN_IF_ERROR(spec.prepare());
+    if (Status prep = spec.prepare(); !prep.ok()) {
+      cancel_outstanding();
+      return prep;
+    }
 
-    OutcomeQueue outcomes;
-    const size_t in_flight = spec.dispatch(outcomes);
-    ctx_->counters().stage_rounds.fetch_add(1, std::memory_order_relaxed);
-    if (in_flight == 0) {
-      // Every executor pool rejected the round's submissions: the whole
+    // Dispatch sweep: one fresh attempt per missing slot with none
+    // outstanding (slots being speculated already have theirs).
+    size_t submitted = 0;
+    bool saw_backoff = false;
+    WallTime earliest_retry = WallTime::max();
+    const WallTime sweep_now = WallClock::now();
+    for (int slot : spec.missing()) {
+      SlotState& st = slots[slot];
+      // A previously finished slot can regress when its output died with a
+      // revoked node (shuffle map outputs); clear the win so it recomputes.
+      if (st.done) {
+        st.done = false;
+      }
+      if (st.outstanding > 0) {
+        continue;
+      }
+      if (sweep_now < st.next_eligible) {
+        saw_backoff = true;
+        earliest_retry = std::min(earliest_retry, st.next_eligible);
+        continue;
+      }
+      std::shared_ptr<NodeState> node = spec.pick(slot, /*exclude=*/-1);
+      if (node == nullptr) {
+        break;  // nothing schedulable; park below if nothing is in flight
+      }
+      CancelToken cancel = MakeCancelToken();
+      const uint64_t attempt_id = next_attempt_id++;
+      if (!spec.submit(slot, node, cancel, attempt_id, st.attempts_started, outcomes)) {
+        continue;  // pool closed under us; the slot is re-examined next sweep
+      }
+      counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      AttemptState attempt;
+      attempt.slot = slot;
+      attempt.node = node;
+      attempt.submitted = WallClock::now();
+      attempt.cancel = std::move(cancel);
+      node_progress.emplace(node->info.node_id, attempt.submitted);
+      attempts.emplace(attempt_id, std::move(attempt));
+      ++st.outstanding;
+      ++st.attempts_started;
+      ++submitted;
+    }
+    counters.stage_rounds.fetch_add(1, std::memory_order_relaxed);
+
+    if (submitted == 0 && attempts.empty()) {
+      if (saw_backoff) {
+        // Every missing slot is inside its retry backoff window.
+        const WallTime now = WallClock::now();
+        if (earliest_retry > now) {
+          std::this_thread::sleep_for(
+              std::min(WallDuration(earliest_retry - now), WallDuration(0.05)));
+        }
+        continue;
+      }
+      // Every executor pool rejected the sweep's submissions: the whole
       // cluster was revoked (or started draining) between PickNode and
       // Submit. Park until the node manager supplies a replacement — this is
       // an acquisition wait, not a convergence attempt.
-      ctx_->counters().stage_parks.fetch_add(1, std::memory_order_relaxed);
+      counters.stage_parks.fetch_add(1, std::memory_order_relaxed);
       ctx_->WaitForLiveNode();
       continue;
     }
 
+    // Collect: consume outcomes while enforcing speculation deadlines and
+    // the stage watchdog. Leaves the inner loop whenever a slot needs a
+    // fresh submission (failure, revocation) or a shuffle must recover.
     bool progress = false;
-    bool need_recovery = false;
+    bool need_redispatch = false;
     int recovery_shuffle = -1;
     Status fatal;
-    for (size_t i = 0; i < in_flight; ++i) {
-      TaskOutcome outcome = outcomes.Pop();
+    while (!attempts.empty() && !need_redispatch && recovery_shuffle < 0 && fatal.ok()) {
+      const WallTime now = WallClock::now();
+      if (watchdog_on && now >= stage_deadline) {
+        // Name the oldest outstanding attempt: with a hang that is the
+        // wedged task the operator needs to see.
+        int oldest_slot = -1;
+        NodeId oldest_node = -1;
+        WallTime oldest_time = WallTime::max();
+        for (const auto& [id, attempt] : attempts) {
+          if (attempt.submitted < oldest_time) {
+            oldest_time = attempt.submitted;
+            oldest_slot = attempt.slot;
+            oldest_node = attempt.node->info.node_id;
+          }
+        }
+        counters.stage_watchdog_timeouts.fetch_add(1, std::memory_order_relaxed);
+        Tracer::Global().RecordInstant("stage_watchdog_timeout", "scheduler",
+                                       {{"slot", static_cast<double>(oldest_slot)},
+                                        {"node", static_cast<double>(oldest_node)}});
+        cancel_outstanding();
+        return DeadlineExceeded(
+            std::string(spec.what) + " exceeded its watchdog of " +
+            std::to_string(spec_cfg.stage_watchdog_seconds) +
+            "s; oldest outstanding attempt is task " + std::to_string(oldest_slot) +
+            " on node " + std::to_string(oldest_node));
+      }
+
+      WallTime wake = watchdog_on ? stage_deadline : now + ToClockDuration(1.0);
+      const bool deadlines_armed =
+          spec_cfg.enabled && static_cast<int>(p50.count()) >= spec_cfg.quorum;
+      if (deadlines_armed) {
+        const double deadline_s = std::max(spec_cfg.min_deadline_seconds,
+                                           spec_cfg.spec_multiplier * p50.value());
+        const WallClock::duration deadline_dur = ToClockDuration(deadline_s);
+        // An attempt's clock starts at the later of its submission and its
+        // node's last completed task (see node_progress above).
+        auto effective_start = [&node_progress](const AttemptState& a) {
+          const auto it = node_progress.find(a.node->info.node_id);
+          return it == node_progress.end() ? a.submitted : std::max(a.submitted, it->second);
+        };
+        // Expired attempts first (ids snapshot: launching a duplicate
+        // mutates `attempts`).
+        std::vector<uint64_t> expired;
+        for (const auto& [id, attempt] : attempts) {
+          if (!attempt.deadline_missed && now >= effective_start(attempt) + deadline_dur) {
+            expired.push_back(id);
+          }
+        }
+        for (uint64_t id : expired) {
+          AttemptState& missed = attempts[id];
+          missed.deadline_missed = true;
+          const int slot = missed.slot;
+          const NodeId from_node = missed.node->info.node_id;
+          counters.task_deadline_misses.fetch_add(1, std::memory_order_relaxed);
+          ctx_->NotifyTaskDeadlineMiss(from_node);
+          SlotState& st = slots[slot];
+          if (st.done || st.outstanding >= 2) {
+            continue;  // already won, or already speculated
+          }
+          std::shared_ptr<NodeState> other = spec.pick(slot, from_node);
+          if (other == nullptr) {
+            continue;  // nowhere else to run; the original may yet finish
+          }
+          CancelToken cancel = MakeCancelToken();
+          const uint64_t dup_id = next_attempt_id++;
+          if (!spec.submit(slot, other, cancel, dup_id, st.attempts_started, outcomes)) {
+            continue;
+          }
+          counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
+          counters.tasks_speculated.fetch_add(1, std::memory_order_relaxed);
+          Tracer::Global().RecordInstant(
+              "task_speculated", "scheduler",
+              {{"slot", static_cast<double>(slot)},
+               {"from_node", static_cast<double>(from_node)},
+               {"to_node", static_cast<double>(other->info.node_id)},
+               {"deadline_seconds", deadline_s}});
+          AttemptState dup;
+          dup.slot = slot;
+          dup.node = std::move(other);
+          dup.submitted = WallClock::now();
+          dup.cancel = std::move(cancel);
+          dup.speculative = true;
+          node_progress.emplace(dup.node->info.node_id, dup.submitted);
+          attempts.emplace(dup_id, std::move(dup));
+          ++st.outstanding;
+          ++st.attempts_started;
+        }
+        for (const auto& [id, attempt] : attempts) {
+          if (!attempt.deadline_missed) {
+            wake = std::min(wake, effective_start(attempt) + deadline_dur);
+          }
+        }
+      }
+
+      const WallDuration tick = std::clamp(WallDuration(wake - WallClock::now()),
+                                           WallDuration(100e-6), WallDuration(1.0));
+      std::optional<TaskOutcome> popped = outcomes->PopWithTimeout(tick);
+      if (!popped.has_value()) {
+        continue;  // tick expired; rescan deadlines / watchdog
+      }
+      TaskOutcome outcome = std::move(*popped);
+      auto it = attempts.find(outcome.attempt_id);
+      if (it == attempts.end()) {
+        continue;  // unknown attempt; nothing to account
+      }
+      AttemptState attempt = std::move(it->second);
+      attempts.erase(it);
+      SlotState& st = slots[attempt.slot];
+      --st.outstanding;
+      const WallTime finished = WallClock::now();
+      // Service time, not queue-inclusive latency (see the quantile comment).
+      WallTime started = attempt.submitted;
+      if (const auto pit = node_progress.find(attempt.node->info.node_id);
+          pit != node_progress.end()) {
+        started = std::max(started, pit->second);
+      }
+      const double seconds = WallDuration(finished - started).count();
+      const bool was_cancelled = attempt.cancel->load(std::memory_order_acquire);
+      const NodeId node_id = attempt.node->info.node_id;
+
       if (outcome.status.ok()) {
+        node_progress[node_id] = finished;
+        if (st.done) {
+          // Duplicate success: its sibling already won. Computation is
+          // deterministic so the results are bit-identical; nothing to
+          // reconcile, but the node did finish a task — report it healthy.
+          ctx_->NotifyTaskAttemptFinished(node_id, seconds, true);
+          continue;
+        }
+        st.done = true;
+        p50.Add(seconds);
+        p95.Add(seconds);
+        ctx_->NotifyTaskAttemptFinished(node_id, seconds, true);
+        if (attempt.speculative) {
+          counters.speculative_wins.fetch_add(1, std::memory_order_relaxed);
+        }
+        // First success wins: reap the slower sibling(s).
+        for (auto& [sibling_id, sibling] : attempts) {
+          if (sibling.slot == attempt.slot &&
+              !sibling.cancel->exchange(true, std::memory_order_acq_rel)) {
+            counters.tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         progress = spec.on_success(std::move(outcome)) || progress;
         continue;
       }
-      ctx_->counters().task_failures.fetch_add(1, std::memory_order_relaxed);
-      switch (outcome.status.code()) {
-        case StatusCode::kUnavailable:
-          break;  // next round re-dispatches
-        case StatusCode::kDataLoss:
-          need_recovery = true;
-          recovery_shuffle = outcome.failed_shuffle;
-          break;
-        default:
-          if (fatal.ok()) {
-            fatal = outcome.status;
-          }
-          break;
+
+      counters.task_failures.fetch_add(1, std::memory_order_relaxed);
+      if (was_cancelled || st.done) {
+        continue;  // reaped loser (or stale attempt of a finished slot)
       }
+      if (outcome.status.code() == StatusCode::kDataLoss && outcome.failed_shuffle >= 0) {
+        // A shuffle input vanished with a revoked node; not this node's
+        // fault and not a budget charge.
+        recovery_shuffle = outcome.failed_shuffle;
+        continue;
+      }
+      const bool node_died = attempt.node->revoked.load(std::memory_order_acquire) ||
+                             attempt.node->draining.load(std::memory_order_acquire);
+      if (outcome.status.code() == StatusCode::kUnavailable && node_died) {
+        // Died with its node: a free re-dispatch on a survivor. No health
+        // penalty — the node is gone, there is nothing left to score.
+        need_redispatch = true;
+        continue;
+      }
+      // A genuine attempt failure (flaky node, poisoned input, user-code
+      // error): penalize the node, charge the slot's budget, back off.
+      ctx_->NotifyTaskAttemptFinished(node_id, seconds, false);
+      ++st.failures;
+      if (st.failures >= spec_cfg.max_attempts_per_task) {
+        fatal = Status(outcome.status.code(),
+                       outcome.status.message() + " (" + std::string(spec.what) + " task " +
+                           std::to_string(attempt.slot) + " failed " +
+                           std::to_string(st.failures) + " attempt(s))");
+        continue;
+      }
+      counters.task_retries.fetch_add(1, std::memory_order_relaxed);
+      const double backoff = spec_cfg.retry_backoff_seconds *
+                             static_cast<double>(1 << std::min(st.failures - 1, 10));
+      st.next_eligible = WallClock::now() + ToClockDuration(backoff);
+      need_redispatch = true;
     }
+
     if (!fatal.ok()) {
+      cancel_outstanding();
       return fatal;
     }
-    if (need_recovery && recovery_shuffle >= 0) {
-      FLINT_RETURN_IF_ERROR(RecoverShuffle(recovery_shuffle, spec.recovery_depth));
+    if (recovery_shuffle >= 0) {
+      if (Status rec = RecoverShuffle(recovery_shuffle, spec.recovery_depth); !rec.ok()) {
+        cancel_outstanding();
+        return rec;
+      }
       progress = true;  // the producing stage was re-run; not a stall
     }
     if (progress) {
@@ -187,53 +534,63 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
     return shuffles.MissingMaps(shuffle->shuffle_id).empty();
   };
   // The map tasks themselves read lineage; make sure *their* shuffle inputs
-  // exist before every dispatch round.
+  // exist before every dispatch sweep.
   spec.prepare = [this, &map_rdd, depth] { return EnsureShuffleDeps(map_rdd, depth + 1); };
-  spec.dispatch = [this, &shuffles, &shuffle, &map_rdd](OutcomeQueue& outcomes) {
+  spec.missing = [this, &shuffles, &shuffle] {
     ctx_->FireProbe(EnginePoint::kBeforeShuffleMapDispatch);
-    size_t in_flight = 0;
-    for (int m : shuffles.MissingMaps(shuffle->shuffle_id)) {
-      std::shared_ptr<NodeState> node = PickNode(map_rdd, m);
-      if (node == nullptr) {
-        break;  // nothing schedulable; the stage loop parks on WaitForLiveNode
+    return shuffles.MissingMaps(shuffle->shuffle_id);
+  };
+  spec.pick = [this, &map_rdd](int slot, NodeId exclude) {
+    return PickNode(map_rdd, slot, exclude);
+  };
+  spec.submit = [this, &shuffle, &map_rdd](int m, const std::shared_ptr<NodeState>& node,
+                                           const CancelToken& cancel, uint64_t attempt_id,
+                                           int attempt_number,
+                                           const std::shared_ptr<OutcomeQueue>& outcomes) {
+    const int shuffle_id = shuffle->shuffle_id;
+    const int num_buckets = shuffle->num_reduce_partitions;
+    ShuffleBucketer bucketer = shuffle->bucketer;
+    return node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets, bucketer,
+                               cancel, attempt_id, attempt_number, outcomes] {
+      ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
+      TraceSpan task_span("shuffle_map_task", "task");
+      task_span.AddArg("shuffle", shuffle_id);
+      task_span.AddArg("map", m);
+      task_span.AddArg("node", node->info.node_id);
+      task_span.AddArg("attempt", attempt_number);
+      TaskContext tc(ctx_, node, cancel);
+      TaskOutcome outcome;
+      outcome.attempt_id = attempt_id;
+      outcome.index = m;
+      TaskRunInfo info;
+      info.node = node->info.node_id;
+      info.shuffle_id = shuffle_id;
+      info.partition = m;
+      info.attempt = attempt_number;
+      const TaskFaultDirective directive = ctx_->FireTaskProbe(info);
+      const WallTime t0 = WallClock::now();
+      if (!RunFaultPreamble(tc, directive, &outcome.status)) {
+        outcomes->Push(std::move(outcome));
+        return;
       }
-      const int shuffle_id = shuffle->shuffle_id;
-      const int num_buckets = shuffle->num_reduce_partitions;
-      ShuffleBucketer bucketer = shuffle->bucketer;
-      ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
-      const bool queued = node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets,
-                                              bucketer, &outcomes] {
-        ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
-        TraceSpan task_span("shuffle_map_task", "task");
-        task_span.AddArg("shuffle", shuffle_id);
-        task_span.AddArg("map", m);
-        task_span.AddArg("node", node->info.node_id);
-        TaskContext tc(ctx_, node);
-        TaskOutcome outcome;
-        outcome.index = m;
-        Result<PartitionPtr> input = tc.GetPartition(map_rdd, m);
-        if (!input.ok()) {
-          outcome.status = input.status();
-          outcome.failed_shuffle = tc.failed_shuffle();
-          outcomes.Push(std::move(outcome));
-          return;
-        }
-        std::vector<PartitionPtr> buckets = bucketer(*input.value(), num_buckets);
-        if (tc.Cancelled()) {
-          outcome.status = Unavailable("node revoked during shuffle write");
-          outcomes.Push(std::move(outcome));
-          return;
-        }
-        ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets));
-        ctx_->FireProbe(EnginePoint::kShuffleMapTaskDone);
-        outcome.status = Status::Ok();
-        outcomes.Push(std::move(outcome));
-      });
-      if (queued) {
-        ++in_flight;
+      Result<PartitionPtr> input = tc.GetPartition(map_rdd, m);
+      if (!input.ok()) {
+        outcome.status = input.status();
+        outcome.failed_shuffle = tc.failed_shuffle();
+        outcomes->Push(std::move(outcome));
+        return;
       }
-    }
-    return in_flight;
+      std::vector<PartitionPtr> buckets = bucketer(*input.value(), num_buckets);
+      if (!StretchCompute(tc, directive, t0) || tc.Cancelled()) {
+        outcome.status = Unavailable("task attempt cancelled during shuffle write");
+        outcomes->Push(std::move(outcome));
+        return;
+      }
+      ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets));
+      ctx_->FireProbe(EnginePoint::kShuffleMapTaskDone);
+      outcome.status = Status::Ok();
+      outcomes->Push(std::move(outcome));
+    });
   };
   // A successful map task registered a previously missing output.
   spec.on_success = [](TaskOutcome&&) { return true; };
@@ -284,41 +641,59 @@ Result<std::vector<PartitionPtr>> DagScheduler::MaterializePartitions(
   spec.recovery_depth = 0;
   spec.complete = [&remaining] { return remaining == 0; };
   spec.prepare = [] { return Status::Ok(); };  // deps ensured above; losses recover below
-  spec.dispatch = [this, &rdd, &partitions, &done, n](OutcomeQueue& outcomes) {
-    size_t in_flight = 0;
+  spec.missing = [&done, n] {
+    std::vector<int> missing;
     for (size_t s = 0; s < n; ++s) {
-      if (done[s]) {
-        continue;
-      }
-      const int p = partitions[s];
-      std::shared_ptr<NodeState> node = PickNode(rdd, p);
-      if (node == nullptr) {
-        break;  // nothing schedulable; the stage loop parks on WaitForLiveNode
-      }
-      ctx_->counters().tasks_run.fetch_add(1, std::memory_order_relaxed);
-      const bool queued = node->pool->Submit([this, node, rdd, s, p, &outcomes] {
-        TraceSpan task_span("task", "task");
-        task_span.AddArg("rdd", rdd->id());
-        task_span.AddArg("partition", p);
-        task_span.AddArg("node", node->info.node_id);
-        TaskContext tc(ctx_, node);
-        TaskOutcome outcome;
-        outcome.index = static_cast<int>(s);
-        Result<PartitionPtr> data = tc.GetPartition(rdd, p);
-        if (data.ok()) {
-          outcome.status = Status::Ok();
-          outcome.data = std::move(data).value();
-        } else {
-          outcome.status = data.status();
-          outcome.failed_shuffle = tc.failed_shuffle();
-        }
-        outcomes.Push(std::move(outcome));
-      });
-      if (queued) {
-        ++in_flight;
+      if (!done[s]) {
+        missing.push_back(static_cast<int>(s));
       }
     }
-    return in_flight;
+    return missing;
+  };
+  spec.pick = [this, &rdd, &partitions](int slot, NodeId exclude) {
+    return PickNode(rdd, partitions[static_cast<size_t>(slot)], exclude);
+  };
+  spec.submit = [this, &rdd, &partitions](int slot, const std::shared_ptr<NodeState>& node,
+                                          const CancelToken& cancel, uint64_t attempt_id,
+                                          int attempt_number,
+                                          const std::shared_ptr<OutcomeQueue>& outcomes) {
+    const int p = partitions[static_cast<size_t>(slot)];
+    return node->pool->Submit([this, node, rdd, slot, p, cancel, attempt_id, attempt_number,
+                               outcomes] {
+      TraceSpan task_span("task", "task");
+      task_span.AddArg("rdd", rdd->id());
+      task_span.AddArg("partition", p);
+      task_span.AddArg("node", node->info.node_id);
+      task_span.AddArg("attempt", attempt_number);
+      TaskContext tc(ctx_, node, cancel);
+      TaskOutcome outcome;
+      outcome.attempt_id = attempt_id;
+      outcome.index = slot;
+      TaskRunInfo info;
+      info.node = node->info.node_id;
+      info.rdd_id = rdd->id();
+      info.partition = p;
+      info.attempt = attempt_number;
+      const TaskFaultDirective directive = ctx_->FireTaskProbe(info);
+      const WallTime t0 = WallClock::now();
+      if (!RunFaultPreamble(tc, directive, &outcome.status)) {
+        outcomes->Push(std::move(outcome));
+        return;
+      }
+      Result<PartitionPtr> data = tc.GetPartition(rdd, p);
+      if (data.ok()) {
+        if (!StretchCompute(tc, directive, t0)) {
+          outcome.status = Unavailable("task attempt cancelled mid-compute");
+        } else {
+          outcome.status = Status::Ok();
+          outcome.data = std::move(data).value();
+        }
+      } else {
+        outcome.status = data.status();
+        outcome.failed_shuffle = tc.failed_shuffle();
+      }
+      outcomes->Push(std::move(outcome));
+    });
   };
   spec.on_success = [&results, &done, &remaining](TaskOutcome&& outcome) {
     const size_t idx = static_cast<size_t>(outcome.index);

@@ -1,21 +1,32 @@
 // DAG scheduler: cuts the lineage graph into stages at shuffle boundaries,
 // runs shuffle-map stages bottom-up, then the result stage, and handles the
-// two failure classes transient servers produce:
-//   - kUnavailable: the task's node was revoked mid-flight -> re-dispatch;
-//   - kDataLoss:    a shuffle input vanished with a revoked node -> re-run
-//                   the producing map stage (recursively), then retry.
+// failure classes transient servers produce:
+//   - kUnavailable (node revoked): the task's node died mid-flight -> a free
+//     re-dispatch on a surviving node;
+//   - kDataLoss: a shuffle input vanished with a revoked node -> re-run the
+//     producing map stage (recursively), then retry;
+//   - everything else: retried with exponential backoff up to the per-task
+//     attempt budget, then surfaced as the stage's Status;
+//   - stragglers (slow, hung, or flaky nodes): per-task deadlines derived
+//     from streaming runtime quantiles launch speculative duplicate attempts
+//     on a different node; the first success wins and losers are cancelled
+//     cooperatively (SpeculationConfig in context.h).
 // When every node is gone (the paper's whole-cluster revocation in batch
 // mode), the scheduler parks until the node manager supplies replacements.
+// A configurable stage watchdog bounds every stage's wall-clock time so a
+// cluster-wide hang becomes a clean kDeadlineExceeded instead of a wedge.
 
 #ifndef SRC_ENGINE_DAG_SCHEDULER_H_
 #define SRC_ENGINE_DAG_SCHEDULER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/engine/rdd.h"
+#include "src/engine/task_context.h"
 
 namespace flint {
 
@@ -36,9 +47,10 @@ class DagScheduler {
   Result<std::vector<PartitionPtr>> MaterializePartitions(const RddPtr& rdd,
                                                           const std::vector<int>& partitions);
 
-  // Outcome of one dispatched task (public so the completion queue in the
-  // implementation file can carry it).
+  // Outcome of one dispatched task attempt (public so the completion queue
+  // in the implementation file can carry it).
   struct TaskOutcome {
+    uint64_t attempt_id = 0;      // which attempt produced this outcome
     int index = -1;               // partition (result stage) or map partition
     Status status;                // outcome
     int failed_shuffle = -1;      // set when status is kDataLoss
@@ -47,23 +59,31 @@ class DagScheduler {
 
  private:
   // Both stage kinds (shuffle-map and result) run through one retry loop so
-  // their park/retry/backoff behaviour cannot drift: each round dispatches
-  // whatever work is still missing, parks on WaitForLiveNode when every
-  // submission was rejected (the whole cluster revoked or draining between
-  // PickNode and Submit — the revocation-storm case), classifies outcomes
-  // (kUnavailable -> re-dispatch, kDataLoss -> recover the producing
-  // shuffle, anything else -> fatal), and gives up only after
-  // `max_stalled_rounds` consecutive rounds without progress. Parked rounds
-  // never count against convergence, and progress-free rounds back off
-  // exponentially so the loop cannot busy-spin.
+  // their park/retry/speculation behaviour cannot drift. Each cycle submits
+  // one attempt for every missing slot that has none outstanding, parks on
+  // WaitForLiveNode when the cluster has nothing schedulable, then consumes
+  // outcomes while enforcing per-attempt speculation deadlines and the
+  // stage watchdog. Stage kinds plug in via the callbacks; slot ids are
+  // stable within one RunStageLoop call (map partition for shuffle stages,
+  // request index for result stages).
   struct StageLoopSpec {
-    const char* what = "stage";  // stage kind for the non-convergence error
+    const char* what = "stage";  // stage kind for error messages and traces
     int max_stalled_rounds = 0;  // progress-free dispatch rounds before giving up
     int recovery_depth = 0;      // recursion depth for RecoverShuffle
     std::function<bool()> complete;
-    std::function<Status()> prepare;                // runs before each dispatch round
-    std::function<size_t(OutcomeQueue&)> dispatch;  // submits missing work
-    // Consumes one successful outcome; returns true if it made new progress.
+    std::function<Status()> prepare;  // runs before each dispatch sweep
+    // Slots still missing a usable result, in dispatch order.
+    std::function<std::vector<int>()> missing;
+    // Node choice for `slot`, skipping `exclude` (speculative duplicates must
+    // land elsewhere; -1 excludes nothing). nullptr = nothing schedulable.
+    std::function<std::shared_ptr<NodeState>(int slot, NodeId exclude)> pick;
+    // Submits one attempt; false if the node's pool rejected it. The task
+    // must push exactly one TaskOutcome carrying `attempt_id` to `outcomes`.
+    std::function<bool(int slot, const std::shared_ptr<NodeState>& node,
+                       const CancelToken& cancel, uint64_t attempt_id, int attempt_number,
+                       const std::shared_ptr<OutcomeQueue>& outcomes)>
+        submit;
+    // Consumes one winning outcome; returns true if it made new progress.
     std::function<bool(TaskOutcome&&)> on_success;
   };
   Status RunStageLoop(const StageLoopSpec& spec);
@@ -76,9 +96,10 @@ class DagScheduler {
   Status RecoverShuffle(int shuffle_id, int depth);
 
   // Picks an execution node for (rdd, partition) among nodes accepting new
-  // tasks, preferring cache locality. Returns nullptr when no such node
-  // exists — the caller's stage loop parks, never this function.
-  std::shared_ptr<NodeState> PickNode(const RddPtr& rdd, int partition);
+  // tasks, preferring cache locality and skipping `exclude`. Returns nullptr
+  // when no such node exists — the caller's stage loop parks, never this
+  // function.
+  std::shared_ptr<NodeState> PickNode(const RddPtr& rdd, int partition, NodeId exclude = -1);
 
   FlintContext* ctx_;
   static constexpr int kMaxRecoveryDepth = 64;

@@ -22,8 +22,30 @@ enum class EnginePoint {
   kCheckpointWrite,           // a checkpoint write is about to reach the DFS
   kDfsPut,                    // storage: a Put is about to execute (via DfsFaultHook)
   kDfsGet,                    // storage: a Get is about to execute (via DfsFaultHook)
+  kTaskRun,                   // executor: any task attempt started (via OnTaskRun)
 };
-inline constexpr size_t kEnginePointCount = 7;
+inline constexpr size_t kEnginePointCount = 8;
+
+// Identity of one task attempt, handed to the probe as it starts executing.
+struct TaskRunInfo {
+  NodeId node = -1;
+  int rdd_id = -1;     // result-stage tasks; -1 for shuffle map tasks
+  int shuffle_id = -1; // shuffle map tasks; -1 for result-stage tasks
+  int partition = -1;  // partition (result) or map partition (shuffle)
+  int attempt = 0;     // 0 = first attempt, >0 = retry or speculative duplicate
+};
+
+// What the probe wants done to the attempt that just started. The engine
+// enforces the directive cooperatively: a hang parks the attempt until its
+// cancellation token fires, a slowdown stretches the attempt's compute time,
+// and a failure aborts the attempt with the given status. All three model
+// degraded-but-alive nodes (throttled I/O, contended cores, hung executors)
+// as opposed to the binary revocation faults.
+struct TaskFaultDirective {
+  double slow_factor = 1.0;  // stretch compute by this factor (>= 1)
+  bool hang = false;         // never complete; park until cancelled
+  Status fail;               // when non-OK, fail the attempt with this status
+};
 
 // Implemented by the fault injector. May be called concurrently from the
 // scheduler, executor, and checkpoint threads; must be thread-safe and must
@@ -32,6 +54,12 @@ class EngineProbe {
  public:
   virtual ~EngineProbe() = default;
   virtual void AtPoint(EnginePoint point) = 0;
+  // Called as a task attempt starts; counts as a kTaskRun arrival for plan
+  // triggers. The default directive is benign.
+  virtual TaskFaultDirective OnTaskRun(const TaskRunInfo& info) {
+    (void)info;
+    return TaskFaultDirective{};
+  }
 };
 
 // All callbacks may fire on executor or timer threads; implementations must
@@ -68,6 +96,19 @@ class EngineObserver {
   virtual void OnNodeAdded(const NodeInfo& node) { (void)node; }
   virtual void OnNodeWarning(const NodeInfo& node) { (void)node; }
   virtual void OnNodeRevoked(const NodeInfo& node) { (void)node; }
+
+  // --- straggler telemetry (feeds the node-health scorer) ---
+  // One task attempt finished on `node`. `success` is true only for attempts
+  // that produced a usable result; cancelled speculative losers and attempts
+  // that died with their node are not reported.
+  virtual void OnTaskAttemptFinished(NodeId node, double seconds, bool success) {
+    (void)node;
+    (void)seconds;
+    (void)success;
+  }
+  // An attempt on `node` blew through its speculation deadline (the scheduler
+  // launched, or tried to launch, a duplicate elsewhere).
+  virtual void OnTaskDeadlineMiss(NodeId node) { (void)node; }
 
  protected:
   EngineObserver() = default;

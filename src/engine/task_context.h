@@ -5,6 +5,7 @@
 #ifndef SRC_ENGINE_TASK_CONTEXT_H_
 #define SRC_ENGINE_TASK_CONTEXT_H_
 
+#include <atomic>
 #include <memory>
 
 #include "src/common/status.h"
@@ -13,10 +14,18 @@
 
 namespace flint {
 
+// Attempt-scoped cancellation flag. The scheduler hands one to every task
+// attempt it launches; cancelling the token (losing speculative duplicate,
+// watchdog abort) asks the attempt to stop at its next Cancelled() poll.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken MakeCancelToken() { return std::make_shared<std::atomic<bool>>(false); }
+
 class TaskContext {
  public:
-  TaskContext(FlintContext* ctx, std::shared_ptr<NodeState> node)
-      : ctx_(ctx), node_(std::move(node)) {}
+  TaskContext(FlintContext* ctx, std::shared_ptr<NodeState> node,
+              CancelToken cancel = nullptr)
+      : ctx_(ctx), node_(std::move(node)), cancel_(std::move(cancel)) {}
 
   // Materializes (rdd, partition): cache -> checkpoint -> recursive compute.
   // On success the partition is cached if the RDD requests caching, and an
@@ -27,9 +36,13 @@ class TaskContext {
   // kDataLoss, failed_shuffle() reports which shuffle must be re-run.
   Result<std::vector<PartitionPtr>> FetchShuffle(int shuffle_id, int reduce_part);
 
-  // True once this task's node has been revoked; computations poll this at
-  // partition boundaries and abort with kUnavailable.
-  bool Cancelled() const { return node_->revoked.load(std::memory_order_acquire); }
+  // True once this task's node has been revoked or its attempt cancelled
+  // (speculative loser, watchdog abort); computations poll this at partition
+  // boundaries and abort with kUnavailable.
+  bool Cancelled() const {
+    return node_->revoked.load(std::memory_order_acquire) ||
+           (cancel_ != nullptr && cancel_->load(std::memory_order_acquire));
+  }
 
   FlintContext& context() { return *ctx_; }
   NodeId node_id() const { return node_->info.node_id; }
@@ -39,6 +52,7 @@ class TaskContext {
  private:
   FlintContext* ctx_;
   std::shared_ptr<NodeState> node_;
+  CancelToken cancel_;
   int failed_shuffle_ = -1;
 
   // Step 3 of GetPartition: recompute (rdd, partition) from lineage. When

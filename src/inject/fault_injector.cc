@@ -17,7 +17,11 @@ bool MatchesPrefix(const std::string& path, const std::string& prefix) {
 }  // namespace
 
 FaultInjector::FaultInjector(ClusterManager* cluster, FaultPlan plan, Dfs* dfs)
-    : cluster_(cluster), plan_(std::move(plan)), dfs_(dfs), fired_(plan_.events.size(), false) {
+    : cluster_(cluster),
+      plan_(std::move(plan)),
+      dfs_(dfs),
+      fired_(plan_.events.size(), false),
+      rng_(plan_.seed) {
   if (dfs_ != nullptr) {
     dfs_->SetFaultHook(this);
   }
@@ -132,6 +136,40 @@ void FaultInjector::Fire(const FaultEvent& event) {
                       event.slow_factor});
       return;
     }
+    case FaultActionKind::kSlowNode: {
+      const NodeId victim = ResolveVictim(event.node_ordinal);
+      FLINT_ILOG() << "fault injection: node " << victim << " compute " << event.slow_factor
+                   << "x slower for " << event.duration_seconds << "s";
+      NodeWindow window;
+      window.node = victim;
+      window.until = WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                            WallDuration(event.duration_seconds));
+      window.slow_factor = event.slow_factor;
+      MutexLock lock(&mutex_);
+      slow_nodes_.push_back(window);
+      return;
+    }
+    case FaultActionKind::kHangTask: {
+      const NodeId victim = ResolveVictim(event.node_ordinal);
+      FLINT_ILOG() << "fault injection: hanging next " << event.count << " task attempt(s)"
+                   << (victim >= 0 ? " on node " + std::to_string(victim) : " on any node");
+      MutexLock lock(&mutex_);
+      hang_budgets_.push_back(HangBudget{victim, event.count});
+      return;
+    }
+    case FaultActionKind::kFlakyNode: {
+      const NodeId victim = ResolveVictim(event.node_ordinal);
+      FLINT_ILOG() << "fault injection: node " << victim << " attempts fail with p="
+                   << event.probability << " for " << event.duration_seconds << "s";
+      NodeWindow window;
+      window.node = victim;
+      window.until = WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                            WallDuration(event.duration_seconds));
+      window.probability = event.probability;
+      MutexLock lock(&mutex_);
+      flaky_nodes_.push_back(window);
+      return;
+    }
   }
   std::sort(victims.begin(), victims.end());
   if (!victims.empty()) {
@@ -153,6 +191,56 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
     });
   }
+}
+
+NodeId FaultInjector::ResolveVictim(int ordinal) const {
+  if (ordinal < 0) {
+    return -1;
+  }
+  std::vector<NodeId> ids;
+  for (const NodeInfo& info : cluster_->LiveNodes()) {
+    ids.push_back(info.node_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  if (static_cast<size_t>(ordinal) >= ids.size()) {
+    return -1;
+  }
+  return ids[static_cast<size_t>(ordinal)];
+}
+
+TaskFaultDirective FaultInjector::OnTaskRun(const TaskRunInfo& info) {
+  // Probe first, as with OnPut/OnGet: an event armed at hit N must affect
+  // attempt N itself.
+  AtPoint(EnginePoint::kTaskRun);
+  const WallTime now = WallClock::now();
+  TaskFaultDirective directive;
+  MutexLock lock(&mutex_);
+  for (HangBudget& budget : hang_budgets_) {
+    if (budget.remaining > 0 && (budget.node < 0 || budget.node == info.node)) {
+      --budget.remaining;
+      ++stats_.tasks_hung_injected;
+      directive.hang = true;
+      return directive;
+    }
+  }
+  for (const NodeWindow& flaky : flaky_nodes_) {
+    if (now < flaky.until && (flaky.node < 0 || flaky.node == info.node) &&
+        rng_.Bernoulli(flaky.probability)) {
+      ++stats_.tasks_failed_injected;
+      directive.fail =
+          Unavailable("injected flaky-node failure on node " + std::to_string(info.node));
+      return directive;
+    }
+  }
+  for (const NodeWindow& slow : slow_nodes_) {
+    if (now < slow.until && (slow.node < 0 || slow.node == info.node)) {
+      directive.slow_factor *= slow.slow_factor;
+    }
+  }
+  if (directive.slow_factor != 1.0) {
+    ++stats_.tasks_slowed;
+  }
+  return directive;
 }
 
 DfsFaultVerdict FaultInjector::OnPut(const std::string& path) {

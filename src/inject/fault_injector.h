@@ -13,6 +13,15 @@
 // reads by prefix, outage windows, slow-I/O windows, and checksum
 // corruption of stored objects. An event armed at hit N affects operation
 // N itself: AtPoint runs before the verdict is evaluated.
+//
+// Straggler faults (kSlowNode / kHangTask / kFlakyNode) follow the same
+// model at the kTaskRun probe: OnTaskRun counts the attempt as a kTaskRun
+// arrival (so a plan can trigger on "the Nth task attempt"), then checks
+// armed per-node windows and budgets and returns a TaskFaultDirective the
+// scheduler enforces cooperatively. Victim nodes are resolved at fire time
+// by ordinal over the sorted live-node ids, and kFlakyNode coin flips come
+// from an Rng seeded by FaultPlan::seed — two runs of the same plan with
+// the same seed inject identical faults.
 
 #ifndef SRC_INJECT_FAULT_INJECTOR_H_
 #define SRC_INJECT_FAULT_INJECTOR_H_
@@ -25,6 +34,7 @@
 #include "src/cluster/cluster_manager.h"
 #include "src/cluster/timer_queue.h"
 #include "src/common/mutex.h"
+#include "src/common/rng.h"
 #include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/dfs/dfs.h"
@@ -47,6 +57,10 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
   // EngineProbe. Thread-safe; events execute outside the internal lock.
   void AtPoint(EnginePoint point) override;
 
+  // Counts the attempt as a kTaskRun arrival, then evaluates armed
+  // straggler faults against the attempt's node.
+  TaskFaultDirective OnTaskRun(const TaskRunInfo& info) override;
+
   // DfsFaultHook. Counts the operation as a kDfsPut/kDfsGet arrival, then
   // evaluates armed storage faults against `path`.
   DfsFaultVerdict OnPut(const std::string& path) override;
@@ -62,6 +76,10 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
     uint64_t reads_failed_injected = 0;
     uint64_t objects_corrupted = 0;
     uint64_t ops_slowed = 0;
+    // Straggler faults enforced.
+    uint64_t tasks_slowed = 0;
+    uint64_t tasks_hung_injected = 0;
+    uint64_t tasks_failed_injected = 0;
   };
   Stats GetStats() const;
   int HitCount(EnginePoint point) const;
@@ -82,9 +100,25 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
     WallTime until{};
     double slow_factor = 1.0;  // kDfsSlow only
   };
+  // Time-bounded per-node straggler window (kSlowNode / kFlakyNode). A
+  // node id of -1 matches attempts on every node.
+  struct NodeWindow {
+    NodeId node = -1;
+    WallTime until{};
+    double slow_factor = 1.0;   // kSlowNode compute multiplier
+    double probability = 0.0;   // kFlakyNode per-attempt failure probability
+  };
+  // Remaining-budget hang fault ("the next N attempts on `node` hang").
+  struct HangBudget {
+    NodeId node = -1;  // -1: whichever attempts arrive next, anywhere
+    int remaining = 0;
+  };
 
   void Fire(const FaultEvent& event);
   DfsFaultVerdict Evaluate(const std::string& path, bool is_write);
+  // Live node with the `ordinal`-th lowest id, or -1 (any node) when the
+  // ordinal is negative or out of range.
+  NodeId ResolveVictim(int ordinal) const;
 
   ClusterManager* cluster_;
   FaultPlan plan_;
@@ -99,6 +133,11 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
   std::vector<PrefixBudget> read_fails_ GUARDED_BY(mutex_);
   std::vector<FaultWindow> outages_ GUARDED_BY(mutex_);
   std::vector<FaultWindow> slowdowns_ GUARDED_BY(mutex_);
+  // Armed straggler faults; evaluated under mutex_ by OnTaskRun.
+  std::vector<NodeWindow> slow_nodes_ GUARDED_BY(mutex_);
+  std::vector<NodeWindow> flaky_nodes_ GUARDED_BY(mutex_);
+  std::vector<HangBudget> hang_budgets_ GUARDED_BY(mutex_);
+  Rng rng_ GUARDED_BY(mutex_);  // kFlakyNode coin flips, seeded by the plan
 
   TimerQueue timers_;  // delayed replacement arrivals
 };

@@ -72,4 +72,38 @@ FaultEvent DfsSlowAt(EnginePoint at, int after_hits, std::string prefix, double 
   return event;
 }
 
+FaultEvent SlowNodeAt(EnginePoint at, int after_hits, int node_ordinal, double slow_factor,
+                      double duration_seconds) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kSlowNode;
+  event.node_ordinal = node_ordinal;
+  event.slow_factor = slow_factor;
+  event.duration_seconds = duration_seconds;
+  return event;
+}
+
+FaultEvent HangTaskAt(EnginePoint at, int after_hits, int node_ordinal, int count) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kHangTask;
+  event.node_ordinal = node_ordinal;
+  event.count = count;
+  return event;
+}
+
+FaultEvent FlakyNodeAt(EnginePoint at, int after_hits, int node_ordinal, double probability,
+                       double duration_seconds) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kFlakyNode;
+  event.node_ordinal = node_ordinal;
+  event.probability = probability;
+  event.duration_seconds = duration_seconds;
+  return event;
+}
+
 }  // namespace flint

@@ -38,6 +38,15 @@ enum class FaultActionKind {
   kDfsOutage,      // all Puts/Gets matching path_prefix fail for duration_seconds
   kDfsSlow,        // transfers matching path_prefix take slow_factor x longer
                    // for duration_seconds
+  // Straggler actions (enforced at the kTaskRun probe via OnTaskRun): nodes
+  // that degrade without dying — the gray failures Eq. 1's running-time model
+  // ignores but real transient fleets produce.
+  kSlowNode,   // compute on the victim node takes slow_factor x longer for
+               // duration_seconds
+  kHangTask,   // the next `count` task attempts (on the victim node, or
+               // anywhere when node_ordinal < 0) never complete until cancelled
+  kFlakyNode,  // task attempts on the victim node fail with `probability`
+               // for duration_seconds
 };
 
 struct FaultEvent {
@@ -53,8 +62,15 @@ struct FaultEvent {
 
   // Storage-action parameters. The empty prefix matches every path.
   std::string path_prefix;
-  double duration_seconds = 0.0;  // kDfsOutage / kDfsSlow window length
-  double slow_factor = 1.0;       // kDfsSlow transfer-time multiplier
+  double duration_seconds = 0.0;  // kDfsOutage / kDfsSlow / straggler window length
+  double slow_factor = 1.0;       // kDfsSlow / kSlowNode time multiplier
+
+  // Straggler-action parameters. The victim is the live node with the
+  // node_ordinal-th lowest id when the event fires (deterministic regardless
+  // of membership-map iteration order); -1 targets every node (kHangTask:
+  // whichever attempts arrive next, anywhere).
+  int node_ordinal = 0;
+  double probability = 0.0;  // kFlakyNode per-attempt failure probability
 
   // Replacement nodes brought up this many engine seconds after the event
   // fires. Zero replacements models a storm that leaves the cluster empty
@@ -67,6 +83,9 @@ struct FaultEvent {
 
 struct FaultPlan {
   std::vector<FaultEvent> events;
+  // Seeds the injector's own randomness (kFlakyNode coin flips). Two runs of
+  // the same plan with the same seed make identical decisions.
+  uint64_t seed = 42;
 };
 
 // Convenience constructors for the common storm shapes.
@@ -100,6 +119,22 @@ FaultEvent DfsOutageAt(EnginePoint at, int after_hits, std::string prefix,
 // `duration_seconds` (degraded store, still available).
 FaultEvent DfsSlowAt(EnginePoint at, int after_hits, std::string prefix, double duration_seconds,
                      double slow_factor);
+
+// Compute on the node with the `node_ordinal`-th lowest live id takes
+// `slow_factor` times longer for `duration_seconds` (contended cores,
+// throttled I/O — the node is degraded, not dead).
+FaultEvent SlowNodeAt(EnginePoint at, int after_hits, int node_ordinal, double slow_factor,
+                      double duration_seconds);
+
+// The next `count` task attempts on the victim node (`node_ordinal` < 0: on
+// any node) hang until their attempt is cancelled.
+FaultEvent HangTaskAt(EnginePoint at, int after_hits, int node_ordinal, int count);
+
+// Task attempts on the victim node fail with `probability` for
+// `duration_seconds` (flapping executor; results are never corrupted, the
+// attempt just errors).
+FaultEvent FlakyNodeAt(EnginePoint at, int after_hits, int node_ordinal, double probability,
+                       double duration_seconds);
 
 }  // namespace flint
 

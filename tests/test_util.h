@@ -34,6 +34,9 @@ struct EngineHarnessOptions {
   // Retry/backoff applied to checkpoint writes and verified restores; DFS
   // fault tests shrink the budget so exhaustion paths run in milliseconds.
   DfsRetryPolicy checkpoint_retry{};
+  // Straggler mitigation knobs (deadlines, speculative attempts, watchdog);
+  // straggler tests tighten the deadlines so scenarios run in milliseconds.
+  SpeculationConfig speculation{};
 };
 
 // Owns a full engine-plane stack. Nodes are added synchronously at
@@ -54,6 +57,7 @@ class EngineHarness {
     engine.block_defaults.eviction = options.eviction;
     engine.block_defaults.num_shards = options.block_shards;
     engine.checkpoint_retry = options.checkpoint_retry;
+    engine.speculation = options.speculation;
     ctx_ = std::make_unique<FlintContext>(cluster_.get(), dfs_.get(), engine);
     for (int i = 0; i < options.num_nodes; ++i) {
       node_ids_.push_back(cluster_->AddNode(0, options.node_memory, options.executor_threads));

@@ -38,16 +38,37 @@
 #            checkpoint (with delta + tau args), revocation, and
 #            market_selection events. Runs in the full pass (reuses the
 #            tier-1 build tree) and under --obs.
+#   obs-straggler  flintctl run with one of four nodes computing 8x slow
+#            (kSlowNode at kTaskRun) and a tightened speculation deadline,
+#            then flint-report --validate proves the trace shows speculative
+#            attempts (task_speculated) and health quarantine
+#            (node_quarantined). Runs in the full pass and under --obs.
 #   obs-bench  Release micro_engine, BM_NarrowChainFusedTraced vs
 #            BM_NarrowChainFused (median of 3 repetitions): the tracer must
 #            add < 5% walltime to the fused narrow chain. Needs the Release
 #            build, so like bench it only runs under --obs.
+#
+# Every leg's test/run phase is wrapped in a LEG_TIMEOUT-second timeout (default
+# 1500 s): a wedged leg fails fast with its name in the summary instead of
+# hanging the whole pass.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-}"
+# Per-leg wall-clock budget (seconds). A wedged leg — e.g. a sanitizer build
+# hitting a deadlock the tests were meant to catch — fails fast with the leg
+# named instead of hanging the whole run. Override: LEG_TIMEOUT=600 check.sh.
+LEG_TIMEOUT="${LEG_TIMEOUT:-1500}"
+
+with_timeout() {  # with_timeout <cmd...>; propagates exit code, 124 on timeout
+  if command -v timeout >/dev/null 2>&1; then
+    timeout -k 30 "${LEG_TIMEOUT}" "$@"
+  else
+    "$@"
+  fi
+}
 
 # Per-leg results for the summary table: "pass", "FAIL", or "skipped (...)".
 LEG_NAMES=()
@@ -80,10 +101,18 @@ summary() {
 
 run_tier1() {
   echo "== tier-1: build + ctest =="
-  if cmake -B build -S . >/dev/null \
-      && cmake --build build -j "${JOBS}" \
-      && ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+  if ! { cmake -B build -S . >/dev/null \
+         && cmake --build build -j "${JOBS}"; }; then
+    record tier-1 "FAIL (build)"
+    return
+  fi
+  with_timeout ctest --test-dir build --output-on-failure -j "${JOBS}"
+  local rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
     record tier-1 pass
+  elif [[ "${rc}" -eq 124 ]]; then
+    echo "tier-1: WEDGED (killed after ${LEG_TIMEOUT}s)" >&2
+    record tier-1 "FAIL (timeout after ${LEG_TIMEOUT}s)"
   else
     record tier-1 FAIL
   fi
@@ -140,8 +169,13 @@ run_sanitizer() {  # run_sanitizer <leg> <FLINT_SANITIZE value> <build dir> <gte
   if cmake -B "${dir}" -S . -DFLINT_SANITIZE="${san}" >/dev/null \
       && cmake --build "${dir}" -j "${JOBS}" --target flint_tests; then
     echo "== ${leg}: ${filter} =="
-    if "./${dir}/tests/flint_tests" --gtest_filter="${filter}"; then
+    with_timeout "./${dir}/tests/flint_tests" --gtest_filter="${filter}"
+    local rc=$?
+    if [[ "${rc}" -eq 0 ]]; then
       record "${leg}" pass
+    elif [[ "${rc}" -eq 124 ]]; then
+      echo "${leg}: WEDGED (killed after ${LEG_TIMEOUT}s)" >&2
+      record "${leg}" "FAIL (timeout after ${LEG_TIMEOUT}s)"
     else
       record "${leg}" FAIL
     fi
@@ -190,6 +224,34 @@ run_obs_storm() {
     record obs-trace pass
   else
     record obs-trace "FAIL (trace validation)"
+  fi
+}
+
+run_obs_straggler() {
+  echo "== obs-straggler: slow-node run with speculation on =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "WARNING: python3 not found; skipping straggler trace validation" >&2
+    record obs-straggler "skipped (no python3)"
+    return
+  fi
+  local out="build/obs"
+  mkdir -p "${out}"
+  # One of four nodes computes 8x slow for the whole run; the tightened
+  # deadline floor makes the demo workload's millisecond tasks eligible for
+  # speculation. The trace must show speculative attempts launching and the
+  # health scorer quarantining the slow node.
+  if ! with_timeout ./build/tools/flintctl run --workload pagerank --nodes 4 \
+       --slow-node 0 --slow-factor 8 --spec-deadline 0.01 \
+       --trace-out "${out}/straggler-trace.json" \
+       --metrics-out "${out}/straggler-metrics.prom"; then
+    record obs-straggler "FAIL (straggler run)"
+    return
+  fi
+  if python3 tools/flint-report --validate "${out}/straggler-trace.json" \
+       --require stage,speculation,quarantine; then
+    record obs-straggler pass
+  else
+    record obs-straggler "FAIL (trace validation)"
   fi
 }
 
@@ -253,6 +315,7 @@ fi
 
 if [[ "${MODE}" == "--obs" ]]; then
   run_obs_storm
+  run_obs_straggler
   run_obs_overhead
   summary
 fi
@@ -262,6 +325,7 @@ run_tier1
 if [[ "${MODE}" == "--fast" ]]; then
   record static "skipped (--fast)"
   record obs-trace "skipped (--fast)"
+  record obs-straggler "skipped (--fast)"
   record tsan "skipped (--fast)"
   record asan "skipped (--fast)"
   record ubsan "skipped (--fast)"
@@ -270,11 +334,14 @@ fi
 
 run_static
 run_obs_storm
+run_obs_straggler
 
 # The TSan leg also runs the lock-order detector tests (Mutex*) and the storm
-# suite, whose fixture asserts the detector saw no cycle (FLINT_SANITIZE
-# builds define FLINT_MUTEX_DEBUG, so detection is on by default).
-run_sanitizer tsan thread build-tsan 'FaultInject*:DfsFault*:Mutex*:Obs*'
+# + straggler suites, whose fixtures assert the detector saw no cycle
+# (FLINT_SANITIZE builds define FLINT_MUTEX_DEBUG, so detection is on by
+# default). Straggler* exercises speculation races: deadline scans, token
+# cancellation, duplicate completions, and health-driven quarantine.
+run_sanitizer tsan thread build-tsan 'FaultInject*:Straggler*:DfsFault*:Mutex*:Obs*'
 run_sanitizer asan address build-asan 'FtManagerTest*:CheckpointPolicyMath*:DfsFault*:Mutex*'
 run_sanitizer ubsan undefined build-ubsan 'FaultInject*:DfsFault*:FtManagerTest*:CheckpointPolicyMath*:Mutex*'
 

@@ -16,11 +16,13 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "src/core/flint_cluster.h"
+#include "src/inject/fault_injector.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/select/selection.h"
@@ -64,6 +66,10 @@ class Args {
     return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
   }
   bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
+  // Whether the flag appeared at all, with or without a value.
+  bool Given(const std::string& key) const {
+    return values_.count(key) > 0 || flags_.count(key) > 0;
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -176,12 +182,50 @@ int CmdRun(const Args& args) {
       args.Has("no-checkpoint") ? CheckpointPolicyKind::kNone : CheckpointPolicyKind::kFlint;
   options.checkpoint.mttf_hours = args.GetDouble("mttf", 20.0);
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  // Speculation floor: the default 200 ms is sized for real stages; demo
+  // workloads with millisecond tasks tighten it so injected stragglers
+  // actually trip deadlines (tools/check.sh obs-straggler leg).
+  options.engine.speculation.min_deadline_seconds =
+      args.GetDouble("spec-deadline", options.engine.speculation.min_deadline_seconds);
+  // Every run prints its effective seed so any run — including one that used
+  // the default — can be replayed exactly with --seed.
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(options.seed));
   FlintCluster cluster(options);
   if (Status st = cluster.Start(); !st.ok()) {
     std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
     return 1;
   }
   const std::string workload = args.Get("workload", "pagerank");
+  const uint64_t seed = options.seed;
+
+  // Scripted straggler injection, replayable via the printed seed: the plan's
+  // RNG (flaky coin flips) derives from it. Node pick is by ordinal over live
+  // node ids at fire time.
+  FaultPlan straggler_plan;
+  straggler_plan.seed = seed;
+  if (args.Given("slow-node")) {
+    straggler_plan.events.push_back(
+        SlowNodeAt(EnginePoint::kTaskRun, /*after_hits=*/0,
+                   static_cast<int>(args.GetInt("slow-node", 0)),
+                   args.GetDouble("slow-factor", 8.0), args.GetDouble("fault-secs", 30.0)));
+  }
+  if (args.Given("hang-tasks")) {
+    straggler_plan.events.push_back(
+        HangTaskAt(EnginePoint::kTaskRun, /*after_hits=*/0,
+                   static_cast<int>(args.GetInt("hang-node", 0)),
+                   static_cast<int>(args.GetInt("hang-tasks", 1))));
+  }
+  if (args.Given("flaky-node")) {
+    straggler_plan.events.push_back(
+        FlakyNodeAt(EnginePoint::kTaskRun, /*after_hits=*/0,
+                    static_cast<int>(args.GetInt("flaky-node", 0)),
+                    args.GetDouble("flaky-prob", 0.5), args.GetDouble("fault-secs", 30.0)));
+  }
+  std::unique_ptr<FaultInjector> injector;
+  if (!straggler_plan.events.empty()) {
+    injector = std::make_unique<FaultInjector>(&cluster.cluster(), straggler_plan);
+    cluster.ctx().SetProbe(injector.get());
+  }
   const int failures = static_cast<int>(args.GetInt("failures", 0));
   std::thread chaos;
   if (failures > 0) {
@@ -196,11 +240,12 @@ int CmdRun(const Args& args) {
       cluster.cluster().Revoke(victims, /*with_warning=*/true);
     });
   }
-  JobReport report = cluster.RunMeasured([&workload](FlintContext& ctx) -> Status {
+  JobReport report = cluster.RunMeasured([&workload, seed](FlintContext& ctx) -> Status {
     if (workload == "kmeans") {
       KMeansParams p;
       p.num_points = 400000;
       p.partitions = 20;
+      p.seed = seed;
       auto r = RunKMeans(ctx, p);
       if (r.ok()) {
         std::printf("kmeans inertia: %.3f\n", r->inertia);
@@ -212,6 +257,7 @@ int CmdRun(const Args& args) {
       p.num_users = 10000;
       p.num_items = 2000;
       p.partitions = 20;
+      p.seed = seed;
       auto r = RunAls(ctx, p);
       if (r.ok()) {
         std::printf("als rmse: %.4f\n", r->rmse);
@@ -223,6 +269,7 @@ int CmdRun(const Args& args) {
       p.num_orders = 50000;
       p.num_customers = 2000;
       p.partitions = 20;
+      p.seed = seed;
       auto db = TpchDatabase::Load(ctx, p);
       if (!db.ok()) {
         return db.status();
@@ -241,12 +288,22 @@ int CmdRun(const Args& args) {
     p.num_vertices = 40000;
     p.edges_per_vertex = 15;
     p.partitions = 20;
+    p.seed = seed;
     auto r = RunPageRank(ctx, p, 5);
     if (r.ok() && !r->top.empty()) {
       std::printf("pagerank top vertex: v%d (%.3f)\n", r->top[0].first, r->top[0].second);
     }
     return r.status();
   });
+  if (injector != nullptr) {
+    cluster.ctx().SetProbe(nullptr);
+    injector->Drain();
+    const FaultInjector::Stats fs = injector->GetStats();
+    std::printf("injected: %llu slowed, %llu hung, %llu failed\n",
+                static_cast<unsigned long long>(fs.tasks_slowed),
+                static_cast<unsigned long long>(fs.tasks_hung_injected),
+                static_cast<unsigned long long>(fs.tasks_failed_injected));
+  }
   if (chaos.joinable()) {
     chaos.join();
     // The injected revocations trail their warnings by the model warning
@@ -322,7 +379,10 @@ int Usage() {
                "           --trials N --fee F [--no-checkpoint]\n"
                "  mc       --mttf H --markets M --trials N [--no-checkpoint]\n"
                "  run      --workload pagerank|kmeans|als|tpch --policy P\n"
-               "           --nodes N --failures K --mttf H [--no-checkpoint]\n"
+               "           --nodes N --failures K --mttf H --seed S [--no-checkpoint]\n"
+               "           --slow-node ORD --slow-factor F --fault-secs S\n"
+               "           --hang-tasks K --hang-node ORD\n"
+               "           --flaky-node ORD --flaky-prob P\n"
                "           --trace-out FILE --metrics-out FILE --trace-capacity N\n"
                "  trace    --out FILE --volatility calm|moderate|volatile|extreme\n"
                "           --days D --od PRICE --seed S\n");
