@@ -144,6 +144,7 @@ void FaultToleranceManager::SignalLoop() {
     const WallTime deadline =
         WallClock::now() + std::chrono::duration_cast<WallClock::duration>(WallDuration(sleep_s));
     while (!stop_requested_ && WallClock::now() < deadline) {
+      // Timeout vs. notify is irrelevant: the loop re-checks both conditions.
       (void)thread_cv_.WaitUntil(thread_mutex_, deadline);
     }
     if (stop_requested_) {
@@ -305,6 +306,8 @@ void FaultToleranceManager::SystemsLevelSnapshot() {
       obj.data = std::static_pointer_cast<const void>(data);
       const std::string path = "sys/epoch_" + std::to_string(epoch) + "/rdd_" +
                                std::to_string(key.rdd_id) + "_p" + std::to_string(key.partition);
+      // Best-effort snapshot write: a failed epoch blob is superseded by the
+      // next epoch; the RDD checkpoint path handles durability separately.
       (void)ctx_->dfs().Put(path, std::move(obj));
     });
   }
@@ -315,6 +318,7 @@ void FaultToleranceManager::SystemsLevelSnapshot() {
   if (shuffle_bytes > 0 && !live.empty()) {
     const uint64_t share = shuffle_bytes / live.size();
     for (const auto& node : live) {
+      // A pool that closed (revocation warning) just skips its shuffle blob.
       (void)node->pool->Submit([this, node, share, epoch] {
         DfsObject obj;
         obj.size_bytes = share;
@@ -322,6 +326,7 @@ void FaultToleranceManager::SystemsLevelSnapshot() {
             new uint8_t(0), [](const void* p) { delete static_cast<const uint8_t*>(p); });
         const std::string path = "sys/epoch_" + std::to_string(epoch) + "/shuffle_node_" +
                                  std::to_string(node->info.node_id);
+        // Best-effort: shuffle blobs exist only to charge snapshot bytes.
         (void)ctx_->dfs().Put(path, std::move(obj));
       });
     }

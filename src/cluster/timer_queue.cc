@@ -64,6 +64,7 @@ void TimerQueue::Loop() {
     }
     const WallTime next_deadline = pending_.begin()->first.first;
     if (WallClock::now() < next_deadline) {
+      // Timeout vs. notify is irrelevant: the loop re-examines pending_.
       (void)cv_.WaitUntil(mutex_, next_deadline);
       continue;
     }

@@ -45,6 +45,7 @@ class ThreadPool {
   CondVar work_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  // flint-lint: allow(lock-missing-guard) filled in the constructor, joined in the destructor; immutable while workers run
   std::vector<std::thread> threads_;
   size_t in_flight_ GUARDED_BY(mutex_) = 0;
   bool shutdown_ GUARDED_BY(mutex_) = false;

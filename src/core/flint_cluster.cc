@@ -2,6 +2,8 @@
 
 #include "src/trace/market_catalog.h"
 
+// flint-lint: allow-file(det-wallclock) job wall-time is report telemetry; it never feeds partition data
+
 namespace flint {
 
 FlintCluster::FlintCluster(FlintOptions options) : options_(std::move(options)) {

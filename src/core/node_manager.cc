@@ -6,6 +6,8 @@
 #include "src/common/stats.h"
 #include "src/obs/trace.h"
 
+// flint-lint: allow-file(det-wallclock) the engine->sim time mapping and lease accounting are wall-clock by definition
+
 namespace flint {
 
 NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToleranceManager* ft,
@@ -36,16 +38,17 @@ NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToler
           started = started_;
           if (!health_.empty()) {
             double min_score = 1.0;
-            double quarantined_now = 0.0;
+            int quarantined_now = 0;
+            // min/int-count are order-independent, so hash order is safe here.
             for (const auto& [id, h] : health_) {
               min_score = std::min(min_score, h.score);
               if (h.quarantined) {
-                quarantined_now += 1.0;
+                ++quarantined_now;
               }
             }
             out.push_back({"flint_node_health_min", MetricType::kGauge, min_score});
-            out.push_back(
-                {"flint_node_quarantined_now", MetricType::kGauge, quarantined_now});
+            out.push_back({"flint_node_quarantined_now", MetricType::kGauge,
+                           static_cast<double>(quarantined_now)});
           }
         }
         if (started) {
@@ -164,6 +167,10 @@ void NodeManager::UpdateFtMttf() {
                           .mttf_hours);
     }
   }
+  // leases_ iterates in hash order; AggregateMttf folds doubles, so sort the
+  // samples to keep τ (and everything checkpointing derives from it)
+  // bit-identical across runs.
+  std::sort(mttfs.begin(), mttfs.end());
   ft_->SetMttf(AggregateMttf(mttfs));
 }
 
@@ -320,6 +327,9 @@ void NodeManager::AddHealthSample(NodeId node, double sample) {
       want_quarantine = true;
     }
   }
+  // Publish every sample so PickNode's weighting tracks degradation long
+  // before (and after) the quarantine threshold.
+  ctx_->SetNodeHealthScore(node, score);
   if (want_quarantine) {
     ApplyQuarantine(node, score);
   }
@@ -338,12 +348,17 @@ void NodeManager::ApplyQuarantine(NodeId node, double score) {
   // Refused: this is the last schedulable node. Roll the mark back and lift
   // the score to the threshold so the next bad sample retries instead of
   // hammering the context on every completion.
-  MutexLock lock(&mutex_);
-  auto it = health_.find(node);
-  if (it != health_.end()) {
-    it->second.quarantined = false;
-    it->second.score = std::max(it->second.score, config_.health.quarantine_threshold);
+  double lifted = config_.health.quarantine_threshold;
+  {
+    MutexLock lock(&mutex_);
+    auto it = health_.find(node);
+    if (it != health_.end()) {
+      it->second.quarantined = false;
+      it->second.score = std::max(it->second.score, config_.health.quarantine_threshold);
+      lifted = it->second.score;
+    }
   }
+  ctx_->SetNodeHealthScore(node, lifted);
 }
 
 void NodeManager::DecayHealth(NodeId node) {
@@ -366,6 +381,7 @@ void NodeManager::DecayHealth(NodeId node) {
       recovered = true;
     }
   }
+  ctx_->SetNodeHealthScore(node, score);
   if (recovered) {
     ctx_->SetNodeQuarantined(node, false);
     unquarantines_.fetch_add(1, std::memory_order_relaxed);
@@ -393,25 +409,41 @@ bool NodeManager::Quarantined(NodeId node) const {
 
 double NodeManager::TotalCost() const {
   ReaderMutexLock lock(&mutex_);
-  double total = closed_cost_;
   const SimTime now = Now();
+  // Fold per-lease costs in node-id order: leases_ iterates in hash order
+  // and float addition is not associative, so an unsorted sum's low bits
+  // would differ run to run.
+  std::vector<std::pair<NodeId, double>> open_costs;
+  open_costs.reserve(leases_.size());
   for (const auto& [id, rec] : leases_) {
     if (rec.open) {
-      total += marketplace_->Cost(rec.lease, now);
+      open_costs.emplace_back(id, marketplace_->Cost(rec.lease, now));
     }
+  }
+  std::sort(open_costs.begin(), open_costs.end());
+  double total = closed_cost_;
+  for (const auto& [id, c] : open_costs) {
+    total += c;
   }
   return total;
 }
 
 double NodeManager::OnDemandEquivalentCost() const {
   ReaderMutexLock lock(&mutex_);
-  // On-demand bills whole hours per server, like the spot side.
-  double cost = 0.0;
+  // On-demand bills whole hours per server, like the spot side. Same
+  // sorted-fold as TotalCost for run-to-run bit-identical sums.
   const SimTime now = Now();
+  std::vector<std::pair<NodeId, double>> costs;
+  costs.reserve(leases_.size());
   for (const auto& [id, rec] : leases_) {
     const double hours = rec.open ? std::max(0.0, now - rec.lease.start)
                                   : std::max(0.0, rec.end - rec.lease.start);
-    cost += std::ceil(hours - 1e-9) * marketplace_->on_demand_price();
+    costs.emplace_back(id, std::ceil(hours - 1e-9) * marketplace_->on_demand_price());
+  }
+  std::sort(costs.begin(), costs.end());
+  double cost = 0.0;
+  for (const auto& [id, c] : costs) {
+    cost += c;
   }
   return cost;
 }

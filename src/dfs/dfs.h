@@ -137,7 +137,9 @@ class Dfs {
   uint64_t peak_bytes_ GUARDED_BY(mutex_) = 0;
   mutable std::atomic<uint64_t> bytes_written_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
-  bool model_latency_ = true;
+  // Toggled by tests via set_model_latency, read on every charge path
+  // without the lock — atomic so a mid-run toggle is a benign race, not UB.
+  std::atomic<bool> model_latency_{true};
   std::atomic<DfsFaultHook*> fault_hook_{nullptr};
 };
 

@@ -1,5 +1,6 @@
 #include "src/engine/context.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include "src/engine/lambda_rdd.h"
 #include "src/engine/task_context.h"
 #include "src/obs/trace.h"
+
+// flint-lint: allow-file(det-wallclock) acquisition-wait accounting and liveness-wait deadlines; no partition data derives from the clock
 
 namespace flint {
 
@@ -22,6 +25,16 @@ void AppendCounter(std::vector<MetricSample>& out, const char* name, uint64_t v)
 
 void AppendGauge(std::vector<MetricSample>& out, const char* name, double v) {
   out.push_back({name, MetricType::kGauge, v});
+}
+
+// nodes_ is an unordered map, so any snapshot handed to the scheduler must be
+// re-ordered: PickNode walks these vectors, and placement (hence recompute
+// interleaving) has to replay identically run over run.
+void SortNodesById(std::vector<std::shared_ptr<NodeState>>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const std::shared_ptr<NodeState>& a, const std::shared_ptr<NodeState>& b) {
+              return a->info.node_id < b->info.node_id;
+            });
 }
 
 }  // namespace
@@ -66,6 +79,8 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
                     static_cast<double>(c.compute_nanos.load()) * 1e-9);
         AppendGauge(out, "flint_engine_acquisition_wait_seconds",
                     static_cast<double>(c.acquisition_wait_nanos.load()) * 1e-9);
+        AppendGauge(out, "flint_engine_task_queue_wait_seconds",
+                    static_cast<double>(c.task_queue_wait_nanos.load()) * 1e-9);
 
         // BlockManager cache traffic, aggregated over live + retired nodes
         // (a revoked node's history still happened).
@@ -76,6 +91,7 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
         {
           MutexLock lock(&nodes_mutex_);
           for (const auto& [id, node] : nodes_) {
+            // flint-lint: allow(det-unordered-iter) aggregated into order-independent integer counters
             all.push_back(node);
           }
           for (const auto& node : retired_) {
@@ -117,6 +133,7 @@ FlintContext::~FlintContext() {
   {
     MutexLock lock(&nodes_mutex_);
     for (auto& [id, node] : nodes_) {
+      // flint-lint: allow(det-unordered-iter) every pool is Wait()ed on; join order is irrelevant
       all.push_back(node);
     }
     for (auto& node : retired_) {
@@ -288,6 +305,12 @@ std::vector<std::pair<BlockKey, NodeId>> FlintContext::BlockRegistrySnapshot() c
       out.emplace_back(key, nodes.front());
     }
   }
+  // block_locations_ is an unordered map; give callers (checkpoint sweeps,
+  // restore planning) a stable order so their behaviour replays identically.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.rdd_id, a.first.partition) <
+           std::tie(b.first.rdd_id, b.first.partition);
+  });
   return out;
 }
 
@@ -330,6 +353,7 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::LiveNodeStates() const {
       out.push_back(node);
     }
   }
+  SortNodesById(out);
   return out;
 }
 
@@ -344,6 +368,7 @@ std::vector<std::shared_ptr<NodeState>> FlintContext::SchedulableNodeStates() co
       out.push_back(node);
     }
   }
+  SortNodesById(out);
   return out;
 }
 
@@ -380,6 +405,19 @@ bool FlintContext::SetNodeQuarantined(NodeId id, bool quarantined) {
   return true;
 }
 
+void FlintContext::SetNodeHealthScore(NodeId id, double score) {
+  std::shared_ptr<NodeState> node;
+  {
+    ReaderMutexLock lock(&nodes_mutex_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      return;
+    }
+    node = it->second;
+  }
+  node->health_score.store(std::clamp(score, 0.0, 1.0), std::memory_order_relaxed);
+}
+
 std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
   ReaderMutexLock lock(&nodes_mutex_);
   auto it = nodes_.find(id);
@@ -399,6 +437,7 @@ void FlintContext::DrainExecutors() {
   {
     MutexLock lock(&nodes_mutex_);
     for (auto& [id, node] : nodes_) {
+      // flint-lint: allow(det-unordered-iter) every pool is Wait()ed on; join order is irrelevant
       all.push_back(node);
     }
     for (auto& node : retired_) {

@@ -112,6 +112,9 @@ struct EngineCounters {
   std::atomic<uint64_t> task_retries{0};            // failed attempts re-submitted
   std::atomic<uint64_t> tasks_cancelled{0};         // attempt cancellations issued
   std::atomic<uint64_t> stage_watchdog_timeouts{0};  // stages aborted by the watchdog
+  // Executor-queue wait: execution-start stamp minus submission, summed over
+  // attempts whose stamp was seen. Deadline clocks exclude this slack.
+  std::atomic<int64_t> task_queue_wait_nanos{0};
 };
 
 // Engine-side state of one node. Retired (revoked) nodes are kept until
@@ -128,6 +131,18 @@ struct NodeState {
   // but the scheduler stops placing new attempts on it until the score
   // recovers. Unlike draining, quarantine is reversible.
   std::atomic<bool> quarantined{false};
+  // EWMA health score pushed by the NodeManager's scorer (1 = healthy,
+  // 0 = failing every attempt). Weights PickNode's smooth weighted
+  // round-robin so a degraded-but-unbenched node draws proportionally fewer
+  // tasks. Plain store/load; single-writer (the scorer).
+  std::atomic<double> health_score{1.0};
+  // Smooth-weighted-round-robin credit for PickNode. Only the scheduler
+  // thread (serialized by job_mutex_) mutates it; atomic so readers
+  // (metrics, tests) need no lock.
+  std::atomic<double> swrr_credit{0.0};
+  // Round-robin dispatches routed here by PickNode (locality picks not
+  // included). Exposed for placement tests and telemetry.
+  std::atomic<uint64_t> tasks_picked{0};
 };
 
 class FlintContext : public ClusterListener {
@@ -195,6 +210,10 @@ class FlintContext : public ClusterListener {
   // Refuses to quarantine the last schedulable node — something must keep
   // accepting tasks — and returns whether the change was applied.
   bool SetNodeQuarantined(NodeId id, bool quarantined);
+  // Publishes the health scorer's EWMA score for `id` (clamped to [0, 1])
+  // onto its NodeState so placement can weight by it. Unknown ids are
+  // ignored (the node raced a revocation).
+  void SetNodeHealthScore(NodeId id, double score);
   // Blocks until at least one live node accepts new tasks; accumulates
   // acquisition wait.
   void WaitForLiveNode();

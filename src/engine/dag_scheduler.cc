@@ -18,6 +18,8 @@
 #include "src/engine/task_context.h"
 #include "src/obs/trace.h"
 
+// flint-lint: allow-file(det-wallclock) deadlines, backoff, and service-time quantiles are wall-clock by design; task payloads never read the clock
+
 namespace flint {
 
 // Collects task outcomes from executor threads back to the scheduler.
@@ -112,7 +114,40 @@ bool StretchCompute(TaskContext& tc, const TaskFaultDirective& directive, WallTi
   return true;
 }
 
+// A zero-score node still deserves a trickle: total starvation would freeze
+// its EWMA (no completions, no samples), making recovery impossible.
+// Quarantine — not the weight floor — is the mechanism that benches a node.
+constexpr double kMinPickWeight = 0.05;
+
+// Stamps `stamp` with the current steady-clock tick at executor entry.
+void StampExecStart(const ExecStartStamp& stamp) {
+  stamp->store(WallClock::now().time_since_epoch().count(), std::memory_order_release);
+}
+
+// Reads an executor stamp back as a WallTime; nullopt while still queued.
+std::optional<WallTime> ReadExecStart(const ExecStartStamp& stamp) {
+  const int64_t ticks = stamp->load(std::memory_order_acquire);
+  if (ticks == 0) {
+    return std::nullopt;
+  }
+  return WallTime(WallClock::duration(ticks));
+}
+
 }  // namespace
+
+size_t SwrrPick(const std::vector<double>& weights, std::vector<double>& credits) {
+  double total = 0.0;
+  size_t best = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    credits[i] += weights[i];
+    total += weights[i];
+    if (credits[i] > credits[best]) {
+      best = i;
+    }
+  }
+  credits[best] -= total;
+  return best;
+}
 
 std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partition,
                                                   NodeId exclude) {
@@ -135,9 +170,26 @@ std::shared_ptr<NodeState> DagScheduler::PickNode(const RddPtr& rdd, int partiti
       return node;
     }
   }
-  const size_t pick =
-      static_cast<size_t>(ctx_->round_robin_.fetch_add(1, std::memory_order_relaxed)) %
-      live.size();
+  // Health-weighted smooth round-robin over the id-sorted schedulable set:
+  // every node earns credit proportional to its EWMA health score, the
+  // richest node wins and repays the total. At uniform health this is exact
+  // round-robin (identical interleave to the old counter), while a node at
+  // score 0.5 draws half the work of its healthy peers — degraded-but-
+  // unbenched nodes shed load without the cliff of quarantine. Credits live
+  // on NodeState (scheduler thread is the only writer, serialized by
+  // job_mutex_), so proportions hold across stages.
+  std::vector<double> weights(live.size());
+  std::vector<double> credits(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    weights[i] = std::max(live[i]->health_score.load(std::memory_order_relaxed),
+                          kMinPickWeight);
+    credits[i] = live[i]->swrr_credit.load(std::memory_order_relaxed);
+  }
+  const size_t pick = SwrrPick(weights, credits);
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i]->swrr_credit.store(credits[i], std::memory_order_relaxed);
+  }
+  live[pick]->tasks_picked.fetch_add(1, std::memory_order_relaxed);
   return live[pick];
 }
 
@@ -168,6 +220,10 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
     int slot = -1;
     std::shared_ptr<NodeState> node;
     WallTime submitted{};
+    // Written by the executor the moment the attempt leaves the queue and
+    // begins running; 0 while queued. Deadlines and service times prefer
+    // this over queue-position inference.
+    ExecStartStamp exec_start;
     CancelToken cancel;
     bool speculative = false;
     // The deadline already fired for this attempt (duplicate launched or at
@@ -262,8 +318,10 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
         break;  // nothing schedulable; park below if nothing is in flight
       }
       CancelToken cancel = MakeCancelToken();
+      auto exec_start = std::make_shared<std::atomic<int64_t>>(0);
       const uint64_t attempt_id = next_attempt_id++;
-      if (!spec.submit(slot, node, cancel, attempt_id, st.attempts_started, outcomes)) {
+      if (!spec.submit(slot, node, cancel, attempt_id, st.attempts_started, exec_start,
+                       outcomes)) {
         continue;  // pool closed under us; the slot is re-examined next sweep
       }
       counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
@@ -271,6 +329,7 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
       attempt.slot = slot;
       attempt.node = node;
       attempt.submitted = WallClock::now();
+      attempt.exec_start = std::move(exec_start);
       attempt.cancel = std::move(cancel);
       node_progress.emplace(node->info.node_id, attempt.submitted);
       attempts.emplace(attempt_id, std::move(attempt));
@@ -340,20 +399,31 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
         const double deadline_s = std::max(spec_cfg.min_deadline_seconds,
                                            spec_cfg.spec_multiplier * p50.value());
         const WallClock::duration deadline_dur = ToClockDuration(deadline_s);
-        // An attempt's clock starts at the later of its submission and its
-        // node's last completed task (see node_progress above).
+        // An attempt's clock starts when its executor actually dequeued it
+        // (the exec_start stamp). Until that stamp lands the attempt is
+        // still queued, so fall back to the later of its submission and its
+        // node's last completed task (see node_progress above) — queue depth
+        // on a healthy node must not read as expiry, while a slow or hung
+        // node still indicts everything it holds.
         auto effective_start = [&node_progress](const AttemptState& a) {
+          if (const std::optional<WallTime> started = ReadExecStart(a.exec_start)) {
+            return *started;
+          }
           const auto it = node_progress.find(a.node->info.node_id);
           return it == node_progress.end() ? a.submitted : std::max(a.submitted, it->second);
         };
         // Expired attempts first (ids snapshot: launching a duplicate
-        // mutates `attempts`).
+        // mutates `attempts`). Ids are assigned monotonically, so sorting
+        // restores launch order from the map's hash order and keeps
+        // speculation (hence placement, hence recompute interleaving)
+        // replayable.
         std::vector<uint64_t> expired;
         for (const auto& [id, attempt] : attempts) {
           if (!attempt.deadline_missed && now >= effective_start(attempt) + deadline_dur) {
             expired.push_back(id);
           }
         }
+        std::sort(expired.begin(), expired.end());
         for (uint64_t id : expired) {
           AttemptState& missed = attempts[id];
           missed.deadline_missed = true;
@@ -370,8 +440,10 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
             continue;  // nowhere else to run; the original may yet finish
           }
           CancelToken cancel = MakeCancelToken();
+          auto dup_start = std::make_shared<std::atomic<int64_t>>(0);
           const uint64_t dup_id = next_attempt_id++;
-          if (!spec.submit(slot, other, cancel, dup_id, st.attempts_started, outcomes)) {
+          if (!spec.submit(slot, other, cancel, dup_id, st.attempts_started, dup_start,
+                           outcomes)) {
             continue;
           }
           counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
@@ -386,6 +458,7 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
           dup.slot = slot;
           dup.node = std::move(other);
           dup.submitted = WallClock::now();
+          dup.exec_start = std::move(dup_start);
           dup.cancel = std::move(cancel);
           dup.speculative = true;
           node_progress.emplace(dup.node->info.node_id, dup.submitted);
@@ -417,9 +490,20 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
       --st.outstanding;
       const WallTime finished = WallClock::now();
       // Service time, not queue-inclusive latency (see the quantile comment).
+      // The executor's own stamp is exact; an attempt that somehow finished
+      // without stamping falls back to the node-progress inference.
       WallTime started = attempt.submitted;
-      if (const auto pit = node_progress.find(attempt.node->info.node_id);
-          pit != node_progress.end()) {
+      if (const std::optional<WallTime> exec_started = ReadExecStart(attempt.exec_start)) {
+        started = std::max(started, *exec_started);
+        // The stamp can land a hair before `submitted` is recorded (the task
+        // may begin before Submit returns); clamp so the sum never regresses.
+        counters.task_queue_wait_nanos.fetch_add(
+            std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     *exec_started - attempt.submitted)
+                                     .count()),
+            std::memory_order_relaxed);
+      } else if (const auto pit = node_progress.find(attempt.node->info.node_id);
+                 pit != node_progress.end()) {
         started = std::max(started, pit->second);
       }
       const double seconds = WallDuration(finished - started).count();
@@ -545,13 +629,14 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
   };
   spec.submit = [this, &shuffle, &map_rdd](int m, const std::shared_ptr<NodeState>& node,
                                            const CancelToken& cancel, uint64_t attempt_id,
-                                           int attempt_number,
+                                           int attempt_number, const ExecStartStamp& exec_start,
                                            const std::shared_ptr<OutcomeQueue>& outcomes) {
     const int shuffle_id = shuffle->shuffle_id;
     const int num_buckets = shuffle->num_reduce_partitions;
     ShuffleBucketer bucketer = shuffle->bucketer;
     return node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets, bucketer,
-                               cancel, attempt_id, attempt_number, outcomes] {
+                               cancel, attempt_id, attempt_number, exec_start, outcomes] {
+      StampExecStart(exec_start);
       ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
       TraceSpan task_span("shuffle_map_task", "task");
       task_span.AddArg("shuffle", shuffle_id);
@@ -655,11 +740,12 @@ Result<std::vector<PartitionPtr>> DagScheduler::MaterializePartitions(
   };
   spec.submit = [this, &rdd, &partitions](int slot, const std::shared_ptr<NodeState>& node,
                                           const CancelToken& cancel, uint64_t attempt_id,
-                                          int attempt_number,
+                                          int attempt_number, const ExecStartStamp& exec_start,
                                           const std::shared_ptr<OutcomeQueue>& outcomes) {
     const int p = partitions[static_cast<size_t>(slot)];
     return node->pool->Submit([this, node, rdd, slot, p, cancel, attempt_id, attempt_number,
-                               outcomes] {
+                               exec_start, outcomes] {
+      StampExecStart(exec_start);
       TraceSpan task_span("task", "task");
       task_span.AddArg("rdd", rdd->id());
       task_span.AddArg("partition", p);

@@ -19,6 +19,7 @@
 #ifndef SRC_ENGINE_DAG_SCHEDULER_H_
 #define SRC_ENGINE_DAG_SCHEDULER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,20 @@ namespace flint {
 class FlintContext;
 struct NodeState;
 class OutcomeQueue;  // defined in dag_scheduler.cc
+
+// Stamped by the executor at the moment an attempt actually begins running
+// (steady-clock ticks since epoch; 0 = still queued). Shared between the
+// stage loop and the task lambda so deadlines measure execution time, not
+// queue wait.
+using ExecStartStamp = std::shared_ptr<std::atomic<int64_t>>;
+
+// Smooth weighted round-robin (nginx-style): adds each weight to its credit,
+// picks the highest credit (first on ties), and charges the winner the total
+// weight. With equal weights this is exact round-robin;
+// with unequal weights each index is chosen in proportion to its weight,
+// evenly interleaved. `credits` is updated in place. Exposed for unit tests;
+// PickNode persists credits on NodeState.
+size_t SwrrPick(const std::vector<double>& weights, std::vector<double>& credits);
 
 class DagScheduler {
  public:
@@ -78,9 +93,11 @@ class DagScheduler {
     // land elsewhere; -1 excludes nothing). nullptr = nothing schedulable.
     std::function<std::shared_ptr<NodeState>(int slot, NodeId exclude)> pick;
     // Submits one attempt; false if the node's pool rejected it. The task
-    // must push exactly one TaskOutcome carrying `attempt_id` to `outcomes`.
+    // must stamp `exec_start` the moment it begins executing and push exactly
+    // one TaskOutcome carrying `attempt_id` to `outcomes`.
     std::function<bool(int slot, const std::shared_ptr<NodeState>& node,
                        const CancelToken& cancel, uint64_t attempt_id, int attempt_number,
+                       const ExecStartStamp& exec_start,
                        const std::shared_ptr<OutcomeQueue>& outcomes)>
         submit;
     // Consumes one winning outcome; returns true if it made new progress.

@@ -6,6 +6,8 @@
 #include "src/common/log.h"
 #include "src/engine/fusion.h"
 
+// flint-lint: allow-file(det-wallclock) compute timing feeds metrics and the health scorer, never partition contents
+
 namespace flint {
 
 namespace {

@@ -1,0 +1,56 @@
+// Determinism-check fixture: exercises det-unordered-iter (both the
+// append-in-hash-order and float-accumulation forms, plus the sorted-after
+// clean case), det-raw-random, and det-wallclock. Never compiled; scanned by
+// run_lint_tests.py against expected/det_engine.txt.
+// flint-lint: pretend-path(src/engine/det_engine_fixture.cc)
+
+#include <unordered_map>
+#include <vector>
+
+namespace flint {
+
+class PartitionIndex {
+ public:
+  std::vector<int> IdsInHashOrder() const {
+    std::vector<int> out;
+    for (const auto& kv : blocks_) {
+      out.push_back(kv.first);  // finding: out never sorted afterwards
+    }
+    return out;
+  }
+
+  std::vector<int> IdsSorted() const {
+    std::vector<int> out;
+    for (const auto& kv : blocks_) {
+      out.push_back(kv.first);
+    }
+    std::sort(out.begin(), out.end());  // clean: order re-established
+    return out;
+  }
+
+  double TotalWeight() const {
+    double total = 0.0;
+    for (const auto& kv : blocks_) {
+      total += kv.second;  // finding: float fold in hash order
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, double> blocks_;
+};
+
+int JitterMs() {
+  return rand() % 100;  // finding: unseeded randomness
+}
+
+double ElapsedSeconds() {
+  const auto t0 = WallClock::now();  // finding: wall clock on engine path
+  return WallDuration(WallClock::now() - t0).count();  // finding (second read)
+}
+
+long EpochSeconds() {
+  return time(nullptr);  // finding: time() on engine path
+}
+
+}  // namespace flint

@@ -1,0 +1,21 @@
+// det-pointer-key fixture: ordered containers keyed by pointers iterate in
+// address order, which differs run to run. Never compiled.
+// flint-lint: pretend-path(src/engine/det_ptr_key_fixture.cc)
+
+#include <map>
+#include <set>
+
+namespace flint {
+
+struct Worker;
+struct Block;
+
+class Registry {
+ private:
+  std::map<Worker*, int> slots_by_worker_;   // finding: pointer key
+  std::set<const Block*> resident_;          // finding: pointer element
+  std::map<int, Worker*> worker_by_id_;      // clean: pointer is the value
+  std::set<int> ids_;                        // clean: value key
+};
+
+}  // namespace flint

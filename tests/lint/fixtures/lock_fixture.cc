@@ -1,0 +1,61 @@
+// Lock-discipline fixture: blocking operations lexically under a MutexLock
+// (lock-blocking-call) and mutable value members of a Mutex-owning class
+// without GUARDED_BY (lock-missing-guard). The deferred-lambda body and the
+// annotated/atomic/const members are the clean cases. Never compiled.
+
+#include <string>
+#include <vector>
+
+namespace flint {
+
+class Poller {
+ public:
+  void SleepUnderLock() {
+    MutexLock lock(&mutex_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // finding
+  }
+
+  void IoUnderLock() {
+    MutexLock lock(&mutex_);
+    std::ifstream in("state.txt");  // finding: file I/O in critical section
+  }
+
+  void DfsUnderLock() {
+    MutexLock lock(&mutex_);
+    dfs_->Put("path", payload_);  // finding: modeled-latency DFS call
+  }
+
+  void JoinExecutorUnderLock() {
+    MutexLock lock(&mutex_);
+    pool_.Submit(task_).get();  // finding: waits on an executor under lock
+  }
+
+  void CrossWaitUnderLock() {
+    MutexLock lock(&mutex_);
+    cv_.WaitUntil(&other_mutex_, deadline_);  // finding: waits on other mutex
+  }
+
+  void DeferredSleepIsFine() {
+    MutexLock lock(&mutex_);
+    callback_ = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));  // clean
+    };
+  }
+
+ private:
+  Mutex mutex_;
+  Mutex other_mutex_;
+  CondVar cv_;
+  ThreadPool pool_;
+  Dfs* dfs_;
+  std::function<void()> task_;
+  std::function<void()> callback_;
+  long deadline_ GUARDED_BY(mutex_);        // clean: annotated
+  int epoch_ GUARDED_BY(mutex_);            // clean: annotated
+  std::atomic<bool> stopping_{false};       // clean: atomic
+  const int capacity_ = 8;                  // clean: const
+  std::vector<int> pending_;                // finding: unguarded value state
+  std::string payload_;                     // finding: unguarded value state
+};
+
+}  // namespace flint

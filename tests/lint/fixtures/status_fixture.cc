@@ -1,0 +1,43 @@
+// Status-hygiene fixture: (void)-discarded calls need an adjacent
+// justification comment (status-discarded), and Result<T>::value() must be
+// dominated by ok() in the same function (status-unchecked-value). Never
+// compiled.
+
+namespace flint {
+
+Status Touch();
+Result<int> Fetch();
+
+void DropWithoutComment() {
+  (void)Touch();
+}
+
+void DropWithLeadingComment() {
+  // Best-effort cache warm; a failure only costs a later cache miss.
+  (void)Touch();
+}
+
+void DropWithTrailingComment() {
+  (void)Touch();  // predicate loop re-checks; spurious wakeup is harmless
+}
+
+int UncheckedValue() {
+  Result<int> bare = Fetch();
+  return bare.value();  // finding: no bare.ok() dominates this
+}
+
+int CheckedValue() {
+  Result<int> checked = Fetch();
+  if (!checked.ok()) {
+    return -1;
+  }
+  return checked.value();  // clean
+}
+
+int UncheckedMoveValue() {
+  Result<int> moved = Fetch();
+  int v = std::move(moved).value();  // finding: move-unwrap, still unchecked
+  return v;
+}
+
+}  // namespace flint

@@ -1,0 +1,34 @@
+// Suppression-machinery fixture: a reasoned allow() silences a finding (and
+// is counted), a reason-less or unknown-check allow() is itself a
+// lint-suppression finding and suppresses nothing, and an allow() that
+// matches no finding is reported as unused (stderr note). Never compiled.
+// flint-lint: pretend-path(src/engine/suppress_fixture.cc)
+
+namespace flint {
+
+void ReasonedSuppression() {
+  // flint-lint: allow(det-wallclock) fixture demonstrates a reasoned suppression
+  auto t0 = WallClock::now();  // suppressed: not printed as a finding
+}
+
+void MissingReason() {
+  // flint-lint: allow(det-wallclock)
+  auto t1 = WallClock::now();  // finding: the reason-less allow is inert
+}
+
+void UnknownCheck() {
+  // flint-lint: allow(not-a-check) sounded plausible at the time
+  int x = 0;
+}
+
+void Typo() {
+  // flint-lint: allw(det-wallclock) typo in the directive verb
+  int y = 0;
+}
+
+void UnusedSuppression() {
+  // flint-lint: allow(det-raw-random) nothing random actually happens here
+  int z = 0;
+}
+
+}  // namespace flint

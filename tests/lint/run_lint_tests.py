@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Golden-file self-tests for tools/analyze/flint-lint.
+
+Default mode runs the linter over every fixture in tests/lint/fixtures/ and
+compares its stdout (the findings, exactly as printed) against the golden
+file of the same stem in tests/lint/expected/. The exit code is also
+checked: 1 when the golden expects findings, 0 when it is empty. Stderr
+(summary line, unused-suppression notes) is intentionally not compared — it
+carries counts that drift harmlessly as fixtures grow.
+
+    run_lint_tests.py             compare fixtures against goldens
+    run_lint_tests.py --update    regenerate the goldens (then review the diff)
+    run_lint_tests.py --src-clean assert the live src/ tree lints clean
+
+Stdlib only; exits 0 on success, 1 on any mismatch.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.normpath(os.path.join(HERE, "..", ".."))
+LINT = os.path.join(ROOT, "tools", "analyze", "flint-lint")
+FIXTURES = os.path.join(HERE, "fixtures")
+EXPECTED = os.path.join(HERE, "expected")
+
+
+def run_lint(args):
+    return subprocess.run(
+        [sys.executable, LINT, "--root", ROOT] + args,
+        capture_output=True, text=True)
+
+
+def golden_tests(update):
+    failures = 0
+    fixtures = sorted(f for f in os.listdir(FIXTURES) if f.endswith(".cc"))
+    if not fixtures:
+        print("run_lint_tests: no fixtures found in %s" % FIXTURES)
+        return 1
+    for fixture in fixtures:
+        rel = os.path.relpath(os.path.join(FIXTURES, fixture), ROOT)
+        proc = run_lint([rel])
+        if proc.returncode not in (0, 1):
+            print("FAIL %s: linter exited %d\n%s"
+                  % (fixture, proc.returncode, proc.stderr))
+            failures += 1
+            continue
+        golden_path = os.path.join(EXPECTED, os.path.splitext(fixture)[0] + ".txt")
+        if update:
+            with open(golden_path, "w") as f:
+                f.write(proc.stdout)
+            print("updated %s" % os.path.relpath(golden_path, ROOT))
+            continue
+        try:
+            with open(golden_path) as f:
+                want = f.read()
+        except OSError:
+            print("FAIL %s: missing golden %s (run with --update, then review)"
+                  % (fixture, os.path.relpath(golden_path, ROOT)))
+            failures += 1
+            continue
+        if proc.stdout != want:
+            print("FAIL %s: findings differ from %s"
+                  % (fixture, os.path.relpath(golden_path, ROOT)))
+            print("--- expected ---\n%s--- got ---\n%s---" % (want, proc.stdout))
+            failures += 1
+            continue
+        want_exit = 1 if want.strip() else 0
+        if proc.returncode != want_exit:
+            print("FAIL %s: exit %d, expected %d"
+                  % (fixture, proc.returncode, want_exit))
+            failures += 1
+            continue
+        print("ok   %s (%d finding line(s))"
+              % (fixture, len([l for l in want.splitlines() if l.strip()])))
+    if failures:
+        print("run_lint_tests: %d fixture(s) failed" % failures)
+        return 1
+    print("run_lint_tests: all %d fixture(s) match" % len(fixtures))
+    return 0
+
+
+def src_clean():
+    proc = run_lint(["src"])
+    if proc.returncode != 0:
+        print("FAIL: live src/ tree is not lint-clean (exit %d)" % proc.returncode)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        return 1
+    # The summary line ("N finding(s), M suppressed") lands on stderr.
+    sys.stderr.write(proc.stderr)
+    print("ok: src/ lints clean")
+    return 0
+
+
+def main(argv):
+    if "--src-clean" in argv:
+        return src_clean()
+    return golden_tests(update="--update" in argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,6 +18,12 @@
 #            with the curated .clang-tidy at the repo root. Both tools are
 #            optional in minimal containers: missing ones warn + skip, they
 #            never fail the run.
+#   lint     tools/analyze/flint-lint over src/ (determinism, lock
+#            discipline, Status hygiene, obs conventions — docs/ANALYSIS.md)
+#            plus the golden-file self-tests in tests/lint/. HARD-FAILS on
+#            any unsuppressed finding or golden mismatch; the machine-readable
+#            report is archived at build/lint/flint-lint.json. Runs in the
+#            full pass and under --static.
 #   tsan     FLINT_SANITIZE=thread rebuild; storm scenarios + DFS fault matrix
 #            + mutex/lock-order detector tests — revocations, retries,
 #            degraded-mode probes, and quarantines fire from injector, timer,
@@ -163,6 +169,33 @@ run_static() {
   fi
 }
 
+run_lint() {
+  echo "== lint: flint-lint over src/ + golden self-tests =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "WARNING: python3 not found; skipping flint-lint leg" >&2
+    record lint "skipped (no python3)"
+    return
+  fi
+  mkdir -p build/lint
+  # Archive the machine-readable report next to the leg's log regardless of
+  # outcome, so a red run leaves evidence behind.
+  python3 tools/analyze/flint-lint --format=json src > build/lint/flint-lint.json
+  local json_rc=$?
+  python3 tools/analyze/flint-lint src
+  local lint_rc=$?
+  python3 tests/lint/run_lint_tests.py
+  local golden_rc=$?
+  if [[ "${json_rc}" -ge 2 || "${lint_rc}" -ge 2 ]]; then
+    record lint "FAIL (linter error)"
+  elif [[ "${lint_rc}" -ne 0 ]]; then
+    record lint "FAIL (unsuppressed findings; see build/lint/flint-lint.json)"
+  elif [[ "${golden_rc}" -ne 0 ]]; then
+    record lint "FAIL (golden self-tests)"
+  else
+    record lint pass
+  fi
+}
+
 run_sanitizer() {  # run_sanitizer <leg> <FLINT_SANITIZE value> <build dir> <gtest filter>
   local leg="$1" san="$2" dir="$3" filter="$4"
   echo "== ${leg}: build (FLINT_SANITIZE=${san}) =="
@@ -305,6 +338,7 @@ PYEOF
 
 if [[ "${MODE}" == "--static" ]]; then
   run_static
+  run_lint
   summary
 fi
 
@@ -324,6 +358,7 @@ run_tier1
 
 if [[ "${MODE}" == "--fast" ]]; then
   record static "skipped (--fast)"
+  record lint "skipped (--fast)"
   record obs-trace "skipped (--fast)"
   record obs-straggler "skipped (--fast)"
   record tsan "skipped (--fast)"
@@ -333,6 +368,7 @@ if [[ "${MODE}" == "--fast" ]]; then
 fi
 
 run_static
+run_lint
 run_obs_storm
 run_obs_straggler
 
