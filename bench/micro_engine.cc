@@ -138,6 +138,87 @@ void BM_ReduceByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 16)->UseRealTime();
 
+// The wide-stage analogue of the narrow fused/unfused pair: a Map between
+// the cached source and the shuffle gives the fused bucket path a chain to
+// elide — with shuffle_fusion on, rows stream straight into the reduce-side
+// buckets and the map-side partition never materializes. The tracked ratio
+// (items/s) is the headline number for the shuffle-pipelining work.
+void RunShuffleChain(benchmark::State& state, bool shuffle_fusion) {
+  testing::EngineHarnessOptions options;
+  options.shuffle_fusion = shuffle_fusion;
+  testing::EngineHarness h{options};
+  std::vector<std::pair<int, int>> data;
+  data.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    data.emplace_back(static_cast<int>(i % 97), 1);
+  }
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto mapped = base.Map([](const std::pair<int, int>& kv) {
+      return std::make_pair(kv.first, kv.second * 2 + 1);
+    });
+    auto out = ReduceByKey(mapped, 4, [](int a, int b) { return a + b; }).Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ReduceByKeyFused(benchmark::State& state) { RunShuffleChain(state, true); }
+BENCHMARK(BM_ReduceByKeyFused)->Arg(1 << 16)->UseRealTime();
+
+void BM_ReduceByKeyUnfused(benchmark::State& state) { RunShuffleChain(state, false); }
+BENCHMARK(BM_ReduceByKeyUnfused)->Arg(1 << 16)->UseRealTime();
+
+// Grouping without a combiner: dominated by the plain bucket sort plus the
+// reduce-side run merge (MergeGroupBuckets).
+void BM_GroupByKey(benchmark::State& state) {
+  testing::EngineHarness h;
+  std::vector<std::pair<int, int>> data;
+  data.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    data.emplace_back(static_cast<int>((i * 7) % 512), static_cast<int>(i));
+  }
+  auto base = Parallelize(&h.ctx(), data, 8);
+  base.Cache();
+  (void)base.Materialize();
+  for (auto _ : state) {
+    auto out = GroupByKey(base, 4).Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByKey)->Arg(1 << 16)->UseRealTime();
+
+// Two-sided shuffle with the reduce-side merge-join over key-sorted buckets.
+// Items/s counts rows pushed through both shuffles.
+void BM_Join(benchmark::State& state) {
+  testing::EngineHarness h;
+  const int64_t n = state.range(0);
+  std::vector<std::pair<int, int>> left_rows, right_rows;
+  left_rows.reserve(static_cast<size_t>(n));
+  right_rows.reserve(static_cast<size_t>(n / 2));
+  for (int64_t i = 0; i < n; ++i) {
+    left_rows.emplace_back(static_cast<int>(i % 1024), static_cast<int>(i));
+  }
+  for (int64_t i = 0; i < n / 2; ++i) {
+    right_rows.emplace_back(static_cast<int>((i * 3) % 1024), static_cast<int>(i));
+  }
+  auto left = Parallelize(&h.ctx(), left_rows, 6);
+  auto right = Parallelize(&h.ctx(), right_rows, 4);
+  left.Cache();
+  right.Cache();
+  (void)left.Materialize();
+  (void)right.Materialize();
+  for (auto _ : state) {
+    auto out = Join(left, right, 4).Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * (n + n / 2));
+}
+BENCHMARK(BM_Join)->Arg(1 << 15)->UseRealTime();
+
 void BM_BlockManagerPutGet(benchmark::State& state) {
   BlockManagerConfig config;
   config.memory_budget_bytes = 64 * kMiB;
@@ -156,24 +237,34 @@ void BM_BlockManagerPutGet(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockManagerPutGet);
 
-// Lock-striping contention: 4 threads hammer a shared BlockManager on
-// disjoint key ranges. Arg is num_shards; 1 serializes every access on one
-// mutex, 8 lets the threads proceed mostly independently.
+// Lock-striping contention: 4 threads hammer ONE shared hot key set (the
+// cluster-cache pattern — every executor re-reads the same cached base
+// partitions), so with 1 shard every access fights for the same mutex while
+// 8 shards spread the hot keys across stripes. Per-thread stride offsets
+// decorrelate the walk so threads are not in lockstep on a single key.
 BlockManager* g_sharded_bm = nullptr;
 
 void BM_BlockManagerPutGetSharded(benchmark::State& state) {
+  constexpr int kHotKeys = 64;
   if (state.thread_index() == 0) {
     BlockManagerConfig config;
     config.memory_budget_bytes = 64 * kMiB;
     config.model_latency = false;
     config.num_shards = static_cast<int>(state.range(0));
     g_sharded_bm = new BlockManager(config);
+    // Pre-populate the hot set so the loop measures steady-state hits.
+    std::vector<double> rows(4096);
+    PartitionPtr part = MakePartition(rows);
+    for (int k = 0; k < kHotKeys; ++k) {
+      bool stored = false;
+      g_sharded_bm->Put(BlockKey{2, k}, part, &stored);
+    }
   }
   std::vector<double> rows(4096);
   PartitionPtr part = MakePartition(rows);
-  int i = 0;
+  int i = state.thread_index() * (kHotKeys / 4 + 1);
   for (auto _ : state) {
-    const BlockKey key{state.thread_index() + 2, i++ % 128};
+    const BlockKey key{2, i++ % kHotKeys};
     bool stored = false;
     g_sharded_bm->Put(key, part, &stored);
     benchmark::DoNotOptimize(g_sharded_bm->Get(key));

@@ -67,6 +67,17 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
         AppendCounter(out, "flint_fusion_fused_chains", c.fused_chains.load());
         AppendCounter(out, "flint_fusion_operators_elided",
                       c.fused_operators_elided.load());
+        AppendCounter(out, "flint_shuffle_rows_bucketed_fused",
+                      c.shuffle_rows_bucketed_fused.load());
+        AppendCounter(out, "flint_shuffle_rows_bucketed_unfused",
+                      c.shuffle_rows_bucketed_unfused.load());
+        AppendCounter(out, "flint_shuffle_fused_bucket_chains",
+                      c.shuffle_fused_bucket_chains.load());
+        AppendCounter(out, "flint_shuffle_combine_hits", c.shuffle_combine_hits.load());
+        AppendCounter(out, "flint_shuffle_merge_reduces", c.shuffle_merge_reduces.load());
+        AppendCounter(out, "flint_shuffle_hash_reduces", c.shuffle_hash_reduces.load());
+        AppendCounter(out, "flint_engine_stage_quantile_seeded",
+                      c.stage_quantile_seeded.load());
         AppendCounter(out, "flint_engine_tasks_speculated", c.tasks_speculated.load());
         AppendCounter(out, "flint_engine_speculative_wins", c.speculative_wins.load());
         AppendCounter(out, "flint_engine_task_deadline_misses",
@@ -118,6 +129,8 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
         AppendGauge(out, "flint_block_spill_used_bytes", static_cast<double>(spill_used));
 
         AppendCounter(out, "flint_shuffle_fetch_waits", shuffle_mgr_.FetchWaits());
+        AppendCounter(out, "flint_shuffle_map_outputs", shuffle_mgr_.MapOutputsRegistered());
+        AppendCounter(out, "flint_shuffle_registered_bytes", shuffle_mgr_.RegisteredBytes());
         AppendGauge(out, "flint_shuffle_live_shuffles",
                     static_cast<double>(shuffle_mgr_.NumShuffles()));
         AppendGauge(out, "flint_shuffle_total_bytes",

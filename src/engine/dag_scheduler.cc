@@ -256,6 +256,12 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
   // P95 rides along for telemetry.
   P2Quantile p50(0.5);
   P2Quantile p95(0.95);
+  // Cross-stage carry-over: until the in-stage estimate reaches quorum,
+  // deadlines may arm from the previous stage's P50 (carried_p50_), so short
+  // stages — fewer tasks than the quorum — still get straggler protection.
+  const bool seed_available = spec_cfg.enabled && spec_cfg.seed_from_previous_stage &&
+                              carried_count_ >= static_cast<size_t>(spec_cfg.quorum);
+  bool seed_counted = false;
 
   auto outcomes = std::make_shared<OutcomeQueue>();
 
@@ -280,6 +286,14 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
   for (;;) {
     if (spec.complete()) {
       cancel_outstanding();
+      // Carry this stage's service-time distribution into the next stage's
+      // deadline seeding. Only successful stages publish: a failed stage's
+      // times are suspect.
+      if (p50.count() > 0) {
+        carried_p50_ = p50.value();
+        carried_p95_ = p95.value();
+        carried_count_ = p50.count();
+      }
       return Status::Ok();
     }
     if (stalled_rounds > spec.max_stalled_rounds) {
@@ -393,11 +407,22 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
       }
 
       WallTime wake = watchdog_on ? stage_deadline : now + ToClockDuration(1.0);
-      const bool deadlines_armed =
+      const bool live_quorum =
           spec_cfg.enabled && static_cast<int>(p50.count()) >= spec_cfg.quorum;
+      const bool deadlines_armed = live_quorum || seed_available;
+      if (deadlines_armed && !live_quorum && !seed_counted) {
+        seed_counted = true;
+        counters.stage_quantile_seeded.fetch_add(1, std::memory_order_relaxed);
+        Tracer::Global().RecordInstant("stage_deadline_seeded", "scheduler",
+                                       {{"carried_p50_seconds", carried_p50_},
+                                        {"carried_count", static_cast<double>(carried_count_)}});
+      }
       if (deadlines_armed) {
+        // The live in-stage P50 takes over as soon as it reaches quorum;
+        // before that, the carried estimate stands in.
+        const double p50_estimate = live_quorum ? p50.value() : carried_p50_;
         const double deadline_s = std::max(spec_cfg.min_deadline_seconds,
-                                           spec_cfg.spec_multiplier * p50.value());
+                                           spec_cfg.spec_multiplier * p50_estimate);
         const WallClock::duration deadline_dur = ToClockDuration(deadline_s);
         // An attempt's clock starts when its executor actually dequeued it
         // (the exec_start stamp). Until that stamp lands the attempt is
@@ -632,9 +657,7 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
                                            int attempt_number, const ExecStartStamp& exec_start,
                                            const std::shared_ptr<OutcomeQueue>& outcomes) {
     const int shuffle_id = shuffle->shuffle_id;
-    const int num_buckets = shuffle->num_reduce_partitions;
-    ShuffleBucketer bucketer = shuffle->bucketer;
-    return node->pool->Submit([this, node, map_rdd, m, shuffle_id, num_buckets, bucketer,
+    return node->pool->Submit([this, node, map_rdd, m, shuffle_id, shuffle,
                                cancel, attempt_id, attempt_number, exec_start, outcomes] {
       StampExecStart(exec_start);
       ctx_->FireProbe(EnginePoint::kShuffleMapTaskRun);
@@ -658,20 +681,19 @@ Status DagScheduler::RunShuffleStage(const std::shared_ptr<ShuffleInfo>& shuffle
         outcomes->Push(std::move(outcome));
         return;
       }
-      Result<PartitionPtr> input = tc.GetPartition(map_rdd, m);
-      if (!input.ok()) {
-        outcome.status = input.status();
+      Result<std::vector<PartitionPtr>> buckets = tc.ComputeShuffleBuckets(map_rdd, m, *shuffle);
+      if (!buckets.ok()) {
+        outcome.status = buckets.status();
         outcome.failed_shuffle = tc.failed_shuffle();
         outcomes->Push(std::move(outcome));
         return;
       }
-      std::vector<PartitionPtr> buckets = bucketer(*input.value(), num_buckets);
       if (!StretchCompute(tc, directive, t0) || tc.Cancelled()) {
         outcome.status = Unavailable("task attempt cancelled during shuffle write");
         outcomes->Push(std::move(outcome));
         return;
       }
-      ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets));
+      ctx_->shuffles().RegisterMapOutput(shuffle_id, m, tc.node_id(), std::move(buckets).value());
       ctx_->FireProbe(EnginePoint::kShuffleMapTaskDone);
       outcome.status = Status::Ok();
       outcomes->Push(std::move(outcome));

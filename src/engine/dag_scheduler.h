@@ -120,6 +120,15 @@ class DagScheduler {
 
   FlintContext* ctx_;
   static constexpr int kMaxRecoveryDepth = 64;
+
+  // Service-time distribution of the most recently completed stage
+  // (SpeculationConfig::seed_from_previous_stage): a new stage arms its
+  // speculation deadlines from this before its own quantile reaches quorum.
+  // Only touched by the scheduler thread (jobs are serialized by
+  // FlintContext::job_mutex_; nested stage loops run on the same thread).
+  double carried_p50_ = 0.0;
+  double carried_p95_ = 0.0;
+  size_t carried_count_ = 0;
 };
 
 }  // namespace flint

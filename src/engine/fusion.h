@@ -97,6 +97,19 @@ struct FusionTerminal {
   std::function<PartitionPtr()> finish;
 };
 
+// Terminal of a chain that feeds a shuffle (the wide-stage analogue of
+// FusionTerminal): the sink consumes the map-side record stream and finish()
+// emits the reduce-side buckets directly, so the map output partition is
+// never materialized. Built by a ShuffleInfo's bucket-sink factory
+// (typed_rdd.h); consumed by TaskContext::ComputeShuffleBuckets.
+struct BucketTerminal {
+  std::unique_ptr<FusionSink> sink;
+  std::function<std::vector<PartitionPtr>()> finish;
+  // Rows the sink consumed; read after the single Flush sweep (feeds the
+  // flint_shuffle_rows_bucketed_* counters).
+  std::function<uint64_t()> rows_in;
+};
+
 // The per-operator fusion surface, attached to an Rdd via set_fusion_ops().
 // All three closures carry the operator's record types internally.
 struct FusionOps {

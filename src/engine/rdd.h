@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/engine/fusion.h"
 #include "src/engine/partition.h"
 
 namespace flint {
@@ -19,19 +20,25 @@ namespace flint {
 class FlintContext;
 class TaskContext;
 class Rdd;
-struct FusionOps;  // src/engine/fusion.h
 using RddPtr = std::shared_ptr<Rdd>;
 
-// Map-side bucketer of a shuffle: splits one parent partition into
-// `num_buckets` reduce-side buckets (hash-partitioned by key).
-using ShuffleBucketer =
-    std::function<std::vector<PartitionPtr>(const PartitionData& parent, int num_buckets)>;
+// Builds the map-side bucketing sink of a shuffle: a BucketTerminal whose
+// sink splits one map partition's record stream into `num_buckets`
+// reduce-side buckets. `expected_rows` is a pre-sizing hint (the map
+// partition's row count when known, 0 otherwise).
+using BucketTerminalFactory =
+    std::function<BucketTerminal(int num_buckets, size_t expected_rows)>;
 
 struct ShuffleInfo {
   int shuffle_id = -1;
   int num_map_partitions = 0;
   int num_reduce_partitions = 0;
-  ShuffleBucketer bucketer;
+  // Sink factory plus a driver that streams an already materialized map
+  // partition through such a sink (the unfused path). Fused and unfused
+  // execution push the same rows in the same order into sinks from the same
+  // factory, so their buckets are bit-identical by construction.
+  BucketTerminalFactory make_bucket_sink;
+  std::function<void(const PartitionData& parent, FusionSink& sink)> drive_rows;
   // The RDD whose partitions feed the map side.
   std::weak_ptr<Rdd> map_side;
 };

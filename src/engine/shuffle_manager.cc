@@ -48,6 +48,14 @@ void ShuffleManager::RegisterMapOutput(int shuffle_id, int map_part, NodeId node
   out.node = node;
   out.present = true;
   out.buckets = std::move(buckets);
+  map_outputs_registered_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bytes = 0;
+  for (const auto& b : out.buckets) {
+    if (b != nullptr) {
+      bytes += b->SizeBytes();
+    }
+  }
+  registered_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 std::vector<int> ShuffleManager::MissingMaps(int shuffle_id) const {

@@ -44,6 +44,16 @@ class ShuffleManager {
   // to wait for a re-run); exported as flint_shuffle_fetch_waits.
   uint64_t FetchWaits() const { return fetch_waits_.load(std::memory_order_relaxed); }
 
+  // Map outputs registered (re-registrations after a revocation included)
+  // and their cumulative bucket bytes; exported as
+  // flint_shuffle_map_outputs / flint_shuffle_registered_bytes.
+  uint64_t MapOutputsRegistered() const {
+    return map_outputs_registered_.load(std::memory_order_relaxed);
+  }
+  uint64_t RegisteredBytes() const {
+    return registered_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Number of registered shuffles currently tracked.
   size_t NumShuffles() const;
 
@@ -79,6 +89,8 @@ class ShuffleManager {
   mutable Mutex mutex_{"ShuffleManager::mutex_"};
   std::unordered_map<int, ShuffleState> shuffles_ GUARDED_BY(mutex_);
   mutable std::atomic<uint64_t> fetch_waits_{0};
+  std::atomic<uint64_t> map_outputs_registered_{0};
+  std::atomic<uint64_t> registered_bytes_{0};
 };
 
 }  // namespace flint

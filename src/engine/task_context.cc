@@ -134,6 +134,72 @@ Result<PartitionPtr> TaskContext::ComputeFromLineage(const RddPtr& rdd, int part
   return terminal.finish();
 }
 
+Result<std::vector<PartitionPtr>> TaskContext::ComputeShuffleBuckets(const RddPtr& map_rdd,
+                                                                     int partition,
+                                                                     const ShuffleInfo& info) {
+  if (Cancelled()) {
+    return Unavailable("node revoked");
+  }
+  if (info.make_bucket_sink == nullptr || info.drive_rows == nullptr) {
+    return Internal("shuffle " + std::to_string(info.shuffle_id) + " has no bucket sink");
+  }
+  EngineCounters& counters = ctx_->counters();
+
+  // Fused path: the map RDD qualifies as an elidable streaming intermediate
+  // (same predicate as narrow-chain fusion — its sole consumer is the
+  // shuffle, and neither the cache nor the checkpoint writer needs its
+  // output), so the chain above it drives records straight into the bucket
+  // sink and the map-side partition is never built.
+  if (ctx_->config().operator_fusion && ctx_->config().shuffle_fusion &&
+      FusableIntermediate(map_rdd)) {
+    std::vector<RddPtr> chain{map_rdd};
+    RddPtr barrier = map_rdd->deps()[0].parent;
+    while (FusableIntermediate(barrier)) {
+      chain.push_back(barrier);
+      barrier = barrier->deps()[0].parent;
+    }
+    FLINT_ASSIGN_OR_RETURN(PartitionPtr input, GetPartition(barrier, partition));
+
+    const auto t0 = WallClock::now();
+    BucketTerminal terminal =
+        info.make_bucket_sink(info.num_reduce_partitions, input->NumRecords());
+    FusionSink* down = terminal.sink.get();
+    std::vector<std::unique_ptr<FusionSink>> adapters;
+    adapters.reserve(chain.size() - 1);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      adapters.push_back(chain[i]->fusion_ops()->adapt(partition, *down));
+      down = adapters.back().get();
+    }
+    chain.back()->fusion_ops()->drive(partition, *input, *down);
+    const double seconds = WallDuration(WallClock::now() - t0).count();
+    if (Cancelled()) {
+      return Unavailable("node revoked during compute");
+    }
+    // The map RDD still "computed" this partition as far as the rest of the
+    // engine is concerned (recompute counters, FT-manager checkpoint
+    // signals); only the materialization was elided.
+    ctx_->NotifyPartitionComputed(map_rdd, partition, seconds);
+    counters.shuffle_fused_bucket_chains.fetch_add(1, std::memory_order_relaxed);
+    counters.shuffle_rows_bucketed_fused.fetch_add(terminal.rows_in(),
+                                                   std::memory_order_relaxed);
+    counters.fused_operators_elided.fetch_add(chain.size() - 1, std::memory_order_relaxed);
+    return terminal.finish();
+  }
+
+  // Unfused fallback: materialize (cache -> checkpoint -> lineage) and
+  // stream the rows through the same bucket sink.
+  FLINT_ASSIGN_OR_RETURN(PartitionPtr input, GetPartition(map_rdd, partition));
+  BucketTerminal terminal =
+      info.make_bucket_sink(info.num_reduce_partitions, input->NumRecords());
+  info.drive_rows(*input, *terminal.sink);
+  if (Cancelled()) {
+    return Unavailable("node revoked during compute");
+  }
+  counters.shuffle_rows_bucketed_unfused.fetch_add(terminal.rows_in(),
+                                                   std::memory_order_relaxed);
+  return terminal.finish();
+}
+
 Result<std::vector<PartitionPtr>> TaskContext::FetchShuffle(int shuffle_id, int reduce_part) {
   if (Cancelled()) {
     return Unavailable("node revoked");

@@ -36,6 +36,18 @@ class TaskContext {
   // kDataLoss, failed_shuffle() reports which shuffle must be re-run.
   Result<std::vector<PartitionPtr>> FetchShuffle(int shuffle_id, int reduce_part);
 
+  // Runs the map side of one shuffle task: produces the reduce-side buckets
+  // of (map_rdd, partition) through `info`'s bucket sink. When the map RDD
+  // is a streaming operator nothing else needs (uncached, unmarked, sole
+  // consumer is the shuffle) and shuffle fusion is on, the narrow chain
+  // above it streams directly into the sink and the map-side partition is
+  // never materialized; otherwise the partition materializes through
+  // GetPartition and its rows are driven through the same sink. Both paths
+  // push identical rows in identical order, so the buckets are
+  // bit-identical by construction.
+  Result<std::vector<PartitionPtr>> ComputeShuffleBuckets(const RddPtr& map_rdd, int partition,
+                                                          const ShuffleInfo& info);
+
   // True once this task's node has been revoked or its attempt cancelled
   // (speculative loser, watchdog abort); computations poll this at partition
   // boundaries and abort with kUnavailable.

@@ -13,10 +13,10 @@
 #include <algorithm>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/status.h"
 #include "src/engine/context.h"
 #include "src/engine/fusion.h"
@@ -249,40 +249,295 @@ auto Generate(FlintContext* ctx, int num_partitions, F fn, std::string name = "g
 }
 
 // --- shuffle transformations ---
+//
+// The map side of every shuffle is a bucket *sink* (see BucketTerminal in
+// fusion.h): the narrow chain above the shuffle can stream records straight
+// into the reduce-side buckets without ever materializing the map-side
+// partition (TaskContext::ComputeShuffleBuckets). Every sink emits its
+// buckets key-sorted, which the reduce side exploits with a k-way
+// merge + combine instead of rebuilding a hash table. Both the map-side
+// combiner and the hash-rebuild fallback use FlatHashMap (flat_hash.h),
+// whose insertion-order iteration keeps every path deterministic.
 
 namespace rdd_internal {
 
-// Plain hash-partition of pair rows into buckets, no combining.
-template <typename K, typename V>
-ShuffleBucketer MakePlainBucketer() {
-  return [](const PartitionData& p, int num_buckets) {
-    const auto& rows = Rows<std::pair<K, V>>(p);
-    std::vector<std::vector<std::pair<K, V>>> buckets(static_cast<size_t>(num_buckets));
-    // A uniform hash puts ~rows/buckets records in each bucket; reserving
-    // that up front avoids the per-bucket reallocation churn.
-    const size_t expect = rows.size() / static_cast<size_t>(num_buckets) + 1;
-    for (auto& b : buckets) {
-      b.reserve(expect);
+// Streams an already materialized partition of `Row`s through a bucket sink
+// in fusion-sized spans — the unfused half of the shared bucketing surface.
+template <typename Row>
+std::function<void(const PartitionData&, FusionSink&)> MakeRowDrive() {
+  return [](const PartitionData& p, FusionSink& sink) {
+    TypedSink<Row>& in = SinkAs<Row>(sink);
+    const std::vector<Row>& rows = Rows<Row>(p);
+    for (size_t off = 0; off < rows.size(); off += kFusionBatchRows) {
+      in.Push(rows.data() + off, std::min(kFusionBatchRows, rows.size() - off));
     }
-    for (const auto& kv : rows) {
-      buckets[HashOf(kv.first) % static_cast<size_t>(num_buckets)].push_back(kv);
-    }
-    std::vector<PartitionPtr> out;
-    out.reserve(buckets.size());
-    for (auto& b : buckets) {
-      out.push_back(MakePartition(std::move(b)));
-    }
-    return out;
+    sink.Flush();
   };
 }
 
-inline std::shared_ptr<ShuffleInfo> MakeShuffle(FlintContext* ctx, const RddPtr& map_side,
-                                                int num_reduce, ShuffleBucketer bucketer) {
+// Plain hash-partition of pair rows into buckets, no combining. Finish()
+// stable-sorts each bucket by key: per-key row order stays (arrival order),
+// i.e. (map partition, row index), while the sorted-bucket invariant enables
+// the reduce-side merge.
+// Bucket-index fast path: for power-of-two bucket counts (the common case)
+// `h & (n-1)` equals `h % n`, sparing the hot loops a hardware division per
+// row. Zero means "no mask, divide".
+inline size_t BucketMaskFor(size_t n) { return (n & (n - 1)) == 0 ? n - 1 : 0; }
+
+template <typename K, typename V>
+class PlainBucketSink final : public TypedSink<std::pair<K, V>> {
+ public:
+  PlainBucketSink(int num_buckets, size_t expected_rows)
+      : buckets_(static_cast<size_t>(num_buckets)),
+        bucket_mask_(BucketMaskFor(buckets_.size())) {
+    // A uniform hash puts ~rows/buckets records in each bucket; reserving
+    // that up front avoids the per-bucket reallocation churn.
+    const size_t expect = expected_rows / buckets_.size() + 1;
+    for (auto& b : buckets_) {
+      b.reserve(expect);
+    }
+  }
+
+  void Push(const std::pair<K, V>* rec, size_t n) override {
+    rows_in_ += n;
+    auto* const buckets = buckets_.data();
+    const size_t num_buckets = buckets_.size();
+    const size_t mask = bucket_mask_;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t h = HashOf(rec[i].first);
+      buckets[mask != 0 ? (h & mask) : (h % num_buckets)].push_back(rec[i]);
+    }
+  }
+
+  std::vector<PartitionPtr> Finish() {
+    std::vector<PartitionPtr> out;
+    out.reserve(buckets_.size());
+    for (auto& b : buckets_) {
+      std::stable_sort(b.begin(), b.end(),
+                       [](const auto& a, const auto& c) { return a.first < c.first; });
+      out.push_back(MakePartition(std::move(b)));
+    }
+    return out;
+  }
+
+  uint64_t rows_in() const { return rows_in_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+  const size_t bucket_mask_;
+  uint64_t rows_in_ = 0;
+};
+
+// Map-side combining bucket sink (Spark's aggregator): per-bucket flat hash
+// maps fold values in arrival order, Finish() sorts each bucket's unique
+// keys. Combine-hit tallies flush into the engine counters once per sink.
+template <typename K, typename V, typename Combine>
+class CombineBucketSink final : public TypedSink<std::pair<K, V>> {
+ public:
+  CombineBucketSink(int num_buckets, size_t expected_rows, Combine combine,
+                    EngineCounters* counters)
+      : combine_(std::move(combine)), counters_(counters),
+        maps_(static_cast<size_t>(num_buckets)),
+        bucket_mask_(BucketMaskFor(maps_.size())) {
+    // The combiner holds unique keys, not rows; low-cardinality aggregations
+    // (the common case) would waste a table sized for rows/buckets on a
+    // handful of keys, so cap the pre-size and let growth cover the rest.
+    const size_t expect = std::min<size_t>(expected_rows / maps_.size() + 1, 1024);
+    for (auto& m : maps_) {
+      m.Reserve(expect);
+    }
+  }
+
+  void Push(const std::pair<K, V>* rec, size_t n) override {
+    rows_in_ += n;
+    // Hot loop: hash once per row (the bucket index and the map probe share
+    // it) and keep the hit count in a register, not a member store per row.
+    auto* const maps = maps_.data();
+    const size_t num_buckets = maps_.size();
+    const size_t mask = bucket_mask_;
+    uint64_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t h = HashOf(rec[i].first);
+      auto [slot, inserted] = maps[mask != 0 ? (h & mask) : (h % num_buckets)]
+                                  .FindOrEmplaceHashed(h, rec[i].first, rec[i].second);
+      if (!inserted) {
+        *slot = combine_(*slot, rec[i].second);
+        ++hits;
+      }
+    }
+    combine_hits_ += hits;
+  }
+
+  std::vector<PartitionPtr> Finish() {
+    counters_->shuffle_combine_hits.fetch_add(combine_hits_, std::memory_order_relaxed);
+    std::vector<PartitionPtr> out;
+    out.reserve(maps_.size());
+    for (auto& m : maps_) {
+      std::vector<std::pair<K, V>> rows = m.TakeEntries();
+      // Keys are unique within a bucket, so the plain by-key sort is total.
+      std::sort(rows.begin(), rows.end(),
+                [](const auto& a, const auto& c) { return a.first < c.first; });
+      out.push_back(MakePartition(std::move(rows)));
+    }
+    return out;
+  }
+
+  uint64_t rows_in() const { return rows_in_; }
+
+ private:
+  Combine combine_;
+  EngineCounters* counters_;
+  std::vector<FlatHashMap<K, V, KeyHasher<K>>> maps_;
+  const size_t bucket_mask_;
+  uint64_t rows_in_ = 0;
+  uint64_t combine_hits_ = 0;
+};
+
+template <typename K, typename V>
+BucketTerminalFactory MakePlainBucketFactory() {
+  return [](int num_buckets, size_t expected_rows) {
+    auto sink = std::make_unique<PlainBucketSink<K, V>>(num_buckets, expected_rows);
+    PlainBucketSink<K, V>* raw = sink.get();
+    BucketTerminal t;
+    t.sink = std::move(sink);
+    t.finish = [raw] { return raw->Finish(); };
+    t.rows_in = [raw] { return raw->rows_in(); };
+    return t;
+  };
+}
+
+template <typename K, typename V, typename Combine>
+BucketTerminalFactory MakeCombineBucketFactory(Combine combine, EngineCounters* counters) {
+  return [combine, counters](int num_buckets, size_t expected_rows) {
+    auto sink = std::make_unique<CombineBucketSink<K, V, Combine>>(num_buckets, expected_rows,
+                                                                   combine, counters);
+    CombineBucketSink<K, V, Combine>* raw = sink.get();
+    BucketTerminal t;
+    t.sink = std::move(sink);
+    t.finish = [raw] { return raw->Finish(); };
+    t.rows_in = [raw] { return raw->rows_in(); };
+    return t;
+  };
+}
+
+// K-way merge + combine over key-sorted buckets whose keys are unique per
+// bucket (CombineBucketSink output). Values combine across buckets in bucket
+// index order — exactly the order the hash-rebuild fallback applies them in,
+// so both reduce paths are bit-identical even for non-commutative (but
+// associative) combines. Output is key-sorted by construction.
+template <typename K, typename V, typename Combine>
+std::vector<std::pair<K, V>> MergeCombineBuckets(const std::vector<PartitionPtr>& buckets,
+                                                 const Combine& combine) {
+  struct Cursor {
+    const std::vector<std::pair<K, V>>* rows;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cur;
+  cur.reserve(buckets.size());
+  size_t largest = 0;
+  for (const auto& b : buckets) {
+    const auto& rows = Rows<std::pair<K, V>>(*b);
+    largest = std::max(largest, rows.size());
+    if (!rows.empty()) {
+      cur.push_back(Cursor{&rows});
+    }
+  }
+  std::vector<std::pair<K, V>> out;
+  // Distinct keys are at least the largest bucket's count (keys unique per
+  // bucket); start there and let growth cover key sets disjoint per bucket.
+  out.reserve(largest);
+  while (true) {
+    const K* min_key = nullptr;
+    for (const Cursor& c : cur) {
+      if (c.pos < c.rows->size()) {
+        const K& k = (*c.rows)[c.pos].first;
+        if (min_key == nullptr || k < *min_key) {
+          min_key = &k;
+        }
+      }
+    }
+    if (min_key == nullptr) {
+      return out;
+    }
+    bool first = true;
+    for (Cursor& c : cur) {
+      if (c.pos < c.rows->size() && (*c.rows)[c.pos].first == *min_key) {
+        if (first) {
+          out.push_back((*c.rows)[c.pos]);
+          first = false;
+        } else {
+          out.back().second = combine(out.back().second, (*c.rows)[c.pos].second);
+        }
+        ++c.pos;
+      }
+    }
+  }
+}
+
+// K-way merge + group over key-sorted buckets (PlainBucketSink output; keys
+// may repeat within a bucket as a contiguous run). Per-key value order is
+// (bucket index, row order within bucket) = (map partition, original row
+// index), matching both the hash fallback and the pre-merge semantics.
+template <typename K, typename V>
+std::vector<std::pair<K, std::vector<V>>> MergeGroupBuckets(
+    const std::vector<PartitionPtr>& buckets) {
+  struct Cursor {
+    const std::vector<std::pair<K, V>>* rows;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cur;
+  cur.reserve(buckets.size());
+  for (const auto& b : buckets) {
+    const auto& rows = Rows<std::pair<K, V>>(*b);
+    if (!rows.empty()) {
+      cur.push_back(Cursor{&rows});
+    }
+  }
+  std::vector<std::pair<K, std::vector<V>>> out;
+  while (true) {
+    const K* min_key = nullptr;
+    for (const Cursor& c : cur) {
+      if (c.pos < c.rows->size()) {
+        const K& k = (*c.rows)[c.pos].first;
+        if (min_key == nullptr || k < *min_key) {
+          min_key = &k;
+        }
+      }
+    }
+    if (min_key == nullptr) {
+      return out;
+    }
+    // Two passes over the (cache-hot) runs: size the value vector exactly,
+    // then fill it.
+    size_t count = 0;
+    for (const Cursor& c : cur) {
+      size_t p = c.pos;
+      while (p < c.rows->size() && (*c.rows)[p].first == *min_key) {
+        ++count;
+        ++p;
+      }
+    }
+    std::vector<V> vals;
+    vals.reserve(count);
+    for (Cursor& c : cur) {
+      while (c.pos < c.rows->size() && (*c.rows)[c.pos].first == *min_key) {
+        vals.push_back((*c.rows)[c.pos].second);
+        ++c.pos;
+      }
+    }
+    out.emplace_back(*min_key, std::move(vals));
+  }
+}
+
+inline std::shared_ptr<ShuffleInfo> MakeShuffle(
+    FlintContext* ctx, const RddPtr& map_side, int num_reduce, BucketTerminalFactory factory,
+    std::function<void(const PartitionData&, FusionSink&)> drive_rows) {
   auto info = std::make_shared<ShuffleInfo>();
   info->shuffle_id = ctx->NextShuffleId();
   info->num_map_partitions = map_side->num_partitions();
   info->num_reduce_partitions = num_reduce;
-  info->bucketer = std::move(bucketer);
+  info->make_bucket_sink = std::move(factory);
+  info->drive_rows = std::move(drive_rows);
   info->map_side = map_side;
   ctx->RegisterShuffleInfo(info);
   return info;
@@ -290,46 +545,47 @@ inline std::shared_ptr<ShuffleInfo> MakeShuffle(FlintContext* ctx, const RddPtr&
 
 }  // namespace rdd_internal
 
-// Aggregates values per key with `combine` (associative, commutative).
-// Map-side combining happens in the bucketer, like Spark's aggregator.
+// Aggregates values per key with `combine` (associative; commutativity not
+// required — values fold in (map partition, row) order on the map side and
+// bucket-index order across buckets on the reduce side, deterministically).
+// Map-side combining happens in the bucket sink, like Spark's aggregator.
 // Output rows are sorted by key for deterministic results.
 template <typename K, typename V, typename Combine>
 PairRdd<K, V> ReduceByKey(const PairRdd<K, V>& parent, int num_reduce, Combine combine,
                           std::string name = "reduceByKey") {
   FlintContext* ctx = parent.ctx();
-  ShuffleBucketer bucketer = [combine](const PartitionData& p, int num_buckets) {
-    std::vector<std::unordered_map<K, V, KeyHasher<K>>> maps(static_cast<size_t>(num_buckets));
-    for (const auto& kv : Rows<std::pair<K, V>>(p)) {
-      auto& m = maps[HashOf(kv.first) % static_cast<size_t>(num_buckets)];
-      auto [it, inserted] = m.try_emplace(kv.first, kv.second);
-      if (!inserted) {
-        it->second = combine(it->second, kv.second);
-      }
-    }
-    std::vector<PartitionPtr> out;
-    out.reserve(maps.size());
-    for (auto& m : maps) {
-      std::vector<std::pair<K, V>> rows(m.begin(), m.end());
-      out.push_back(MakePartition(std::move(rows)));
-    }
-    return out;
-  };
-  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_reduce, std::move(bucketer));
+  auto info = rdd_internal::MakeShuffle(
+      ctx, parent.raw(), num_reduce,
+      rdd_internal::MakeCombineBucketFactory<K, V>(combine, &ctx->counters()),
+      rdd_internal::MakeRowDrive<std::pair<K, V>>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
       [info, combine](int j, TaskContext& tc) -> Result<PartitionPtr> {
         FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> buckets,
                                tc.FetchShuffle(info->shuffle_id, j));
-        std::unordered_map<K, V, KeyHasher<K>> acc;
+        EngineCounters& counters = tc.context().counters();
+        if (tc.context().config().shuffle_merge_reduce) {
+          counters.shuffle_merge_reduces.fetch_add(1, std::memory_order_relaxed);
+          return MakePartition(rdd_internal::MergeCombineBuckets<K, V>(buckets, combine));
+        }
+        // Hash-rebuild fallback: combine in bucket order (matching the
+        // merge), then sort the unique keys.
+        counters.shuffle_hash_reduces.fetch_add(1, std::memory_order_relaxed);
+        FlatHashMap<K, V, KeyHasher<K>> acc;
+        size_t largest = 0;
+        for (const auto& b : buckets) {
+          largest = std::max(largest, static_cast<size_t>(b->NumRecords()));
+        }
+        acc.Reserve(largest);
         for (const auto& b : buckets) {
           for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
-            auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+            auto [slot, inserted] = acc.FindOrEmplace(kv.first, kv.second);
             if (!inserted) {
-              it->second = combine(it->second, kv.second);
+              *slot = combine(*slot, kv.second);
             }
           }
         }
-        std::vector<std::pair<K, V>> rows(acc.begin(), acc.end());
+        std::vector<std::pair<K, V>> rows = acc.TakeEntries();
         std::sort(rows.begin(), rows.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         return MakePartition(std::move(rows));
@@ -344,23 +600,26 @@ PairRdd<K, std::vector<V>> GroupByKey(const PairRdd<K, V>& parent, int num_reduc
                                       std::string name = "groupByKey") {
   FlintContext* ctx = parent.ctx();
   auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_reduce,
-                                              rdd_internal::MakePlainBucketer<K, V>());
+                                        rdd_internal::MakePlainBucketFactory<K, V>(),
+                                        rdd_internal::MakeRowDrive<std::pair<K, V>>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce, {Dependency{DepType::kShuffle, parent.raw(), info}},
       [info](int j, TaskContext& tc) -> Result<PartitionPtr> {
         FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> buckets,
                                tc.FetchShuffle(info->shuffle_id, j));
-        std::unordered_map<K, std::vector<V>, KeyHasher<K>> acc;
+        EngineCounters& counters = tc.context().counters();
+        if (tc.context().config().shuffle_merge_reduce) {
+          counters.shuffle_merge_reduces.fetch_add(1, std::memory_order_relaxed);
+          return MakePartition(rdd_internal::MergeGroupBuckets<K, V>(buckets));
+        }
+        counters.shuffle_hash_reduces.fetch_add(1, std::memory_order_relaxed);
+        FlatHashMap<K, std::vector<V>, KeyHasher<K>> acc;
         for (const auto& b : buckets) {
           for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
             acc[kv.first].push_back(kv.second);
           }
         }
-        std::vector<std::pair<K, std::vector<V>>> rows;
-        rows.reserve(acc.size());
-        for (auto& [k, vs] : acc) {
-          rows.emplace_back(k, std::move(vs));
-        }
+        std::vector<std::pair<K, std::vector<V>>> rows = acc.TakeEntries();
         std::sort(rows.begin(), rows.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         return MakePartition(std::move(rows));
@@ -368,16 +627,21 @@ PairRdd<K, std::vector<V>> GroupByKey(const PairRdd<K, V>& parent, int num_reduc
   return PairRdd<K, std::vector<V>>(ctx, std::move(out));
 }
 
-// Inner hash join. Both sides are shuffled by key into `num_reduce`
-// partitions; the reduce side builds a hash table from the left input.
+// Inner join. Both sides are shuffled by key into `num_reduce` partitions;
+// the reduce side merge-joins the key-sorted buckets (or, with merge-reduce
+// off, builds a flat hash table from the left input). Output is key-sorted;
+// per key, rows follow (right row order, left row order) — identical on
+// both reduce paths.
 template <typename K, typename V, typename W>
 PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, V>& left, const PairRdd<K, W>& right,
                                  int num_reduce, std::string name = "join") {
   FlintContext* ctx = left.ctx();
   auto left_info = rdd_internal::MakeShuffle(ctx, left.raw(), num_reduce,
-                                                   rdd_internal::MakePlainBucketer<K, V>());
+                                             rdd_internal::MakePlainBucketFactory<K, V>(),
+                                             rdd_internal::MakeRowDrive<std::pair<K, V>>());
   auto right_info = rdd_internal::MakeShuffle(ctx, right.raw(), num_reduce,
-                                                    rdd_internal::MakePlainBucketer<K, W>());
+                                              rdd_internal::MakePlainBucketFactory<K, W>(),
+                                              rdd_internal::MakeRowDrive<std::pair<K, W>>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce,
       {Dependency{DepType::kShuffle, left.raw(), left_info},
@@ -387,26 +651,76 @@ PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, V>& left, const PairRdd<K, W>&
                                tc.FetchShuffle(left_info->shuffle_id, j));
         FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> rbuckets,
                                tc.FetchShuffle(right_info->shuffle_id, j));
-        std::unordered_map<K, std::vector<V>, KeyHasher<K>> table;
+        EngineCounters& counters = tc.context().counters();
+        std::vector<std::pair<K, std::pair<V, W>>> rows;
+        if (tc.context().config().shuffle_merge_reduce) {
+          counters.shuffle_merge_reduces.fetch_add(1, std::memory_order_relaxed);
+          std::vector<std::pair<K, std::vector<V>>> lg =
+              rdd_internal::MergeGroupBuckets<K, V>(lbuckets);
+          std::vector<std::pair<K, std::vector<W>>> rg =
+              rdd_internal::MergeGroupBuckets<K, W>(rbuckets);
+          // Two-pointer sweep over the sorted groups: size the output
+          // exactly, then emit.
+          size_t total = 0;
+          for (size_t li = 0, ri = 0; li < lg.size() && ri < rg.size();) {
+            if (lg[li].first < rg[ri].first) {
+              ++li;
+            } else if (rg[ri].first < lg[li].first) {
+              ++ri;
+            } else {
+              total += lg[li].second.size() * rg[ri].second.size();
+              ++li;
+              ++ri;
+            }
+          }
+          rows.reserve(total);
+          for (size_t li = 0, ri = 0; li < lg.size() && ri < rg.size();) {
+            if (lg[li].first < rg[ri].first) {
+              ++li;
+            } else if (rg[ri].first < lg[li].first) {
+              ++ri;
+            } else {
+              for (const W& w : rg[ri].second) {
+                for (const V& v : lg[li].second) {
+                  rows.emplace_back(lg[li].first, std::make_pair(v, w));
+                }
+              }
+              ++li;
+              ++ri;
+            }
+          }
+          return MakePartition(std::move(rows));
+        }
+        counters.shuffle_hash_reduces.fetch_add(1, std::memory_order_relaxed);
+        FlatHashMap<K, std::vector<V>, KeyHasher<K>> table;
         for (const auto& b : lbuckets) {
           for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
             table[kv.first].push_back(kv.second);
           }
         }
-        std::vector<std::pair<K, std::pair<V, W>>> rows;
+        // Count matches first so the output vector is built in one
+        // allocation, then emit and stable-sort (per-key emission order must
+        // survive the sort to match the merge path).
+        size_t total = 0;
         for (const auto& b : rbuckets) {
           for (const auto& kw : Rows<std::pair<K, W>>(*b)) {
-            auto it = table.find(kw.first);
-            if (it == table.end()) {
-              continue;
-            }
-            for (const auto& v : it->second) {
-              rows.emplace_back(kw.first, std::make_pair(v, kw.second));
+            if (const std::vector<V>* vs = table.Find(kw.first)) {
+              total += vs->size();
             }
           }
         }
-        std::sort(rows.begin(), rows.end(),
-                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        rows.reserve(total);
+        for (const auto& b : rbuckets) {
+          for (const auto& kw : Rows<std::pair<K, W>>(*b)) {
+            if (const std::vector<V>* vs = table.Find(kw.first)) {
+              for (const V& v : *vs) {
+                rows.emplace_back(kw.first, std::make_pair(v, kw.second));
+              }
+            }
+          }
+        }
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
         return MakePartition(std::move(rows));
       });
   return PairRdd<K, std::pair<V, W>>(ctx, std::move(out));
@@ -415,9 +729,9 @@ PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, V>& left, const PairRdd<K, W>&
 // Convenience: map only the values of a pair RDD.
 template <typename K, typename V, typename F>
 auto MapValues(const PairRdd<K, V>& parent, F fn, std::string name = "mapValues") {
-  using W = std::decay_t<std::invoke_result_t<F, const V&>>;
-  return parent.Map([fn](const std::pair<K, V>& kv) { return std::make_pair(kv.first, fn(kv.second)); },
-                    std::move(name));
+  return parent.Map(
+      [fn](const std::pair<K, V>& kv) { return std::make_pair(kv.first, fn(kv.second)); },
+      std::move(name));
 }
 
 }  // namespace flint

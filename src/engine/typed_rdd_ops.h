@@ -8,12 +8,63 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_set>
 
 #include "src/common/rng.h"
 #include "src/engine/typed_rdd.h"
 
 namespace flint {
+
+namespace rdd_internal {
+
+// Range-partitioning bucket sink for SortBy: upper_bound over the quantile
+// splitters routes each row, preserving arrival order within a bucket (the
+// reduce side's stable_sort relies on that order for tie stability). Unlike
+// the hash-bucket sinks, buckets are NOT key-sorted at the map side — the
+// reduce side sorts whole rows once anyway.
+template <typename T, typename KeyFn, typename K>
+class RangeBucketSink final : public TypedSink<T> {
+ public:
+  RangeBucketSink(int num_buckets, size_t expected_rows, KeyFn key_fn,
+                  std::shared_ptr<std::vector<K>> splitters)
+      : key_fn_(std::move(key_fn)), splitters_(std::move(splitters)),
+        buckets_(static_cast<size_t>(num_buckets)) {
+    for (auto& b : buckets_) {
+      b.reserve(expected_rows / buckets_.size() + 1);
+    }
+  }
+
+  void Push(const T* rec, size_t n) override {
+    rows_in_ += n;
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = static_cast<size_t>(std::upper_bound(splitters_->begin(), splitters_->end(),
+                                                        key_fn_(rec[i])) -
+                                       splitters_->begin());
+      if (idx >= buckets_.size()) {
+        idx = buckets_.size() - 1;
+      }
+      buckets_[idx].push_back(rec[i]);
+    }
+  }
+
+  std::vector<PartitionPtr> Finish() {
+    std::vector<PartitionPtr> out;
+    out.reserve(buckets_.size());
+    for (auto& b : buckets_) {
+      out.push_back(MakePartition(std::move(b)));
+    }
+    return out;
+  }
+
+  uint64_t rows_in() const { return rows_in_; }
+
+ private:
+  KeyFn key_fn_;
+  std::shared_ptr<std::vector<K>> splitters_;
+  std::vector<std::vector<T>> buckets_;
+  uint64_t rows_in_ = 0;
+};
+
+}  // namespace rdd_internal
 
 // Concatenates two RDDs of the same type. Partitions are the union of both
 // parents' partitions (narrow: partition i of the result maps to one parent
@@ -119,28 +170,18 @@ TypedRdd<T> SortBy(const TypedRdd<T>& parent, KeyFn key_fn, int num_output = 0,
       }
     }
   }
-  ShuffleBucketer bucketer = [key_fn, splitters](const PartitionData& p, int num_buckets) {
-    const auto& rows = Rows<T>(p);
-    std::vector<std::vector<T>> buckets(static_cast<size_t>(num_buckets));
-    for (auto& b : buckets) {
-      b.reserve(rows.size() / static_cast<size_t>(num_buckets) + 1);
-    }
-    for (const T& r : rows) {
-      size_t idx = static_cast<size_t>(
-          std::upper_bound(splitters->begin(), splitters->end(), key_fn(r)) - splitters->begin());
-      if (idx >= static_cast<size_t>(num_buckets)) {
-        idx = static_cast<size_t>(num_buckets) - 1;
-      }
-      buckets[idx].push_back(r);
-    }
-    std::vector<PartitionPtr> out;
-    out.reserve(buckets.size());
-    for (auto& b : buckets) {
-      out.push_back(MakePartition(std::move(b)));
-    }
-    return out;
+  BucketTerminalFactory factory = [key_fn, splitters](int num_buckets, size_t expected_rows) {
+    auto sink = std::make_unique<rdd_internal::RangeBucketSink<T, KeyFn, K>>(
+        num_buckets, expected_rows, key_fn, splitters);
+    auto* raw = sink.get();
+    BucketTerminal t;
+    t.sink = std::move(sink);
+    t.finish = [raw] { return raw->Finish(); };
+    t.rows_in = [raw] { return raw->rows_in(); };
+    return t;
   };
-  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_output, std::move(bucketer));
+  auto info = rdd_internal::MakeShuffle(ctx, parent.raw(), num_output, std::move(factory),
+                                        rdd_internal::MakeRowDrive<T>());
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_output, {Dependency{DepType::kShuffle, parent.raw(), info}},
       [info, key_fn](int j, TaskContext& tc) -> Result<PartitionPtr> {
@@ -172,9 +213,11 @@ PairRdd<K, std::pair<std::vector<V>, std::vector<W>>> CoGroup(const PairRdd<K, V
                                                               std::string name = "cogroup") {
   FlintContext* ctx = left.ctx();
   auto left_info = rdd_internal::MakeShuffle(ctx, left.raw(), num_reduce,
-                                                   rdd_internal::MakePlainBucketer<K, V>());
+                                             rdd_internal::MakePlainBucketFactory<K, V>(),
+                                             rdd_internal::MakeRowDrive<std::pair<K, V>>());
   auto right_info = rdd_internal::MakeShuffle(ctx, right.raw(), num_reduce,
-                                                    rdd_internal::MakePlainBucketer<K, W>());
+                                              rdd_internal::MakePlainBucketFactory<K, W>(),
+                                              rdd_internal::MakeRowDrive<std::pair<K, W>>());
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   RddPtr out = ctx->CreateRdd(
       std::move(name), num_reduce,
@@ -185,24 +228,32 @@ PairRdd<K, std::pair<std::vector<V>, std::vector<W>>> CoGroup(const PairRdd<K, V
                                tc.FetchShuffle(left_info->shuffle_id, j));
         FLINT_ASSIGN_OR_RETURN(std::vector<PartitionPtr> rbuckets,
                                tc.FetchShuffle(right_info->shuffle_id, j));
-        std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, KeyHasher<K>> acc;
-        for (const auto& b : lbuckets) {
-          for (const auto& kv : Rows<std::pair<K, V>>(*b)) {
-            acc[kv.first].first.push_back(kv.second);
-          }
-        }
-        for (const auto& b : rbuckets) {
-          for (const auto& kw : Rows<std::pair<K, W>>(*b)) {
-            acc[kw.first].second.push_back(kw.second);
-          }
-        }
+        // Merge each side's key-sorted buckets into grouped runs, then
+        // stitch the two sorted group lists together with one sweep.
+        std::vector<std::pair<K, std::vector<V>>> lg =
+            rdd_internal::MergeGroupBuckets<K, V>(lbuckets);
+        std::vector<std::pair<K, std::vector<W>>> rg =
+            rdd_internal::MergeGroupBuckets<K, W>(rbuckets);
         std::vector<Out> rows;
-        rows.reserve(acc.size());
-        for (auto& [k, vw] : acc) {
-          rows.emplace_back(k, std::move(vw));
+        rows.reserve(lg.size() + rg.size());
+        size_t li = 0;
+        size_t ri = 0;
+        while (li < lg.size() || ri < rg.size()) {
+          if (ri >= rg.size() || (li < lg.size() && lg[li].first < rg[ri].first)) {
+            rows.emplace_back(lg[li].first,
+                              std::make_pair(std::move(lg[li].second), std::vector<W>{}));
+            ++li;
+          } else if (li >= lg.size() || rg[ri].first < lg[li].first) {
+            rows.emplace_back(rg[ri].first,
+                              std::make_pair(std::vector<V>{}, std::move(rg[ri].second)));
+            ++ri;
+          } else {
+            rows.emplace_back(lg[li].first, std::make_pair(std::move(lg[li].second),
+                                                           std::move(rg[ri].second)));
+            ++li;
+            ++ri;
+          }
         }
-        std::sort(rows.begin(), rows.end(),
-                  [](const Out& a, const Out& b) { return a.first < b.first; });
         return MakePartition(std::move(rows));
       });
   return PairRdd<K, std::pair<std::vector<V>, std::vector<W>>>(ctx, std::move(out));

@@ -1,0 +1,342 @@
+// Wide-stage hot-path tests (ISSUE 9): the fused map-side bucketing and the
+// merge-based reduce must be pure performance changes — every path produces
+// bit-identical partitions. Covers:
+//   - FlatHashMap unit behaviour (growth, collision storms, insertion-order
+//     iteration, Reserve contract);
+//   - fused vs unfused bucketing bit-identity for ReduceByKey / GroupByKey /
+//     Join, including a non-commutative-looking string combine;
+//   - merge-reduce vs hash-rebuild bit-identity;
+//   - determinism across num_reduce choices;
+//   - fused bucket chains recomputing bit-identically through a whole-cluster
+//     revocation storm.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/flat_hash.h"
+#include "src/engine/typed_rdd_ops.h"
+#include "src/inject/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace flint {
+namespace {
+
+using testing::EngineHarness;
+using testing::EngineHarnessOptions;
+
+// --- FlatHashMap units ---
+
+struct IdentityHash {
+  size_t operator()(int k) const { return static_cast<size_t>(k); }
+};
+
+// Worst case for open addressing: every key lands in the same slot, so the
+// probe chain is the whole table.
+struct ConstantHash {
+  size_t operator()(int) const { return 7; }
+};
+
+TEST(FlatHashTest, InsertsFindsAndGrows) {
+  FlatHashMap<int, int, IdentityHash> m;
+  EXPECT_TRUE(m.empty());
+  for (int i = 0; i < 1000; ++i) {
+    auto [slot, inserted] = m.FindOrEmplace(i, i * 2);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*slot, i * 2);
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  EXPECT_GE(m.capacity(), 1024u);  // grew past the minimum table
+  for (int i = 0; i < 1000; ++i) {
+    const int* v = m.Find(i);
+    ASSERT_NE(v, nullptr) << "key " << i;
+    EXPECT_EQ(*v, i * 2);
+  }
+  EXPECT_EQ(m.Find(1000), nullptr);
+  EXPECT_EQ(m.Find(-1), nullptr);
+}
+
+TEST(FlatHashTest, CollisionStormProbesLinearly) {
+  FlatHashMap<int, int, ConstantHash> m;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(m.FindOrEmplace(i, i).second);
+  }
+  // Second pass hits every existing key through the full probe chain and
+  // updates in place.
+  for (int i = 0; i < 200; ++i) {
+    auto [slot, inserted] = m.FindOrEmplace(i, -1);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(*slot, i);
+    *slot += 1000;
+  }
+  EXPECT_EQ(m.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    const int* v = m.Find(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i + 1000);
+  }
+  EXPECT_EQ(m.Find(777), nullptr);  // absent key terminates the probe
+}
+
+TEST(FlatHashTest, IterationFollowsInsertionOrder) {
+  FlatHashMap<int, int, IdentityHash> m;
+  // Insertion order deliberately differs from both key order and hash order.
+  const std::vector<int> keys = {42, 7, 1000, 3, 99, 0, 512};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    m[keys[i]] = static_cast<int>(i);
+  }
+  ASSERT_EQ(m.entries().size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(m.entries()[i].first, keys[i]);
+    EXPECT_EQ(m.entries()[i].second, static_cast<int>(i));
+  }
+  std::vector<std::pair<int, int>> taken = m.TakeEntries();
+  ASSERT_EQ(taken.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(taken[i].first, keys[i]);
+  }
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42), nullptr);
+}
+
+TEST(FlatHashTest, ReservePreventsRehash) {
+  FlatHashMap<int, int, IdentityHash> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  for (int i = 0; i < 1000; ++i) {
+    m.FindOrEmplace(i, i);
+  }
+  EXPECT_EQ(m.capacity(), cap) << "Reserve(1000) must cover 1000 inserts";
+}
+
+TEST(FlatHashTest, BracketDefaultInsertsAndAppends) {
+  FlatHashMap<int, std::vector<int>, IdentityHash> m;
+  m[5].push_back(1);
+  m[5].push_back(2);
+  m[9].push_back(3);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.Find(5), (std::vector<int>{1, 2}));
+  EXPECT_EQ(*m.Find(9), (std::vector<int>{3}));
+}
+
+// --- fused vs unfused / merge vs hash bit-identity ---
+
+EngineHarnessOptions Opts(bool shuffle_fusion, bool merge_reduce) {
+  EngineHarnessOptions o;
+  o.shuffle_fusion = shuffle_fusion;
+  o.shuffle_merge_reduce = merge_reduce;
+  return o;
+}
+
+// Skewed keyed data: key frequencies differ and values depend on position,
+// so any reordering anywhere in the shuffle shows up in the output.
+std::vector<std::pair<int, int>> SkewedPairs(int rows, int keys) {
+  std::vector<std::pair<int, int>> data;
+  data.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    data.emplace_back((i * i + i / 3) % keys, i);
+  }
+  return data;
+}
+
+// Each workload returns the raw Collect — partitions concatenated in order,
+// so the comparison is full bit-identity, not just set equality.
+
+std::vector<std::pair<int, int>> RunReduceByKey(FlintContext* ctx, int num_reduce) {
+  // The Map between the source and the shuffle is the narrow chain the fused
+  // path elides; the combine is associative but NOT commutative-looking
+  // (order-sensitive mixing), so any change in fold order breaks equality.
+  auto mapped = Parallelize(ctx, SkewedPairs(6000, 37), 5)
+                    .Map([](const std::pair<int, int>& kv) {
+                      return std::make_pair(kv.first, kv.second * 2 + 1);
+                    });
+  auto out = ReduceByKey(mapped, num_reduce,
+                         [](int a, int b) { return a * 31 + b; })
+                 .Collect();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::vector<std::pair<int, int>>{};
+}
+
+std::vector<std::pair<int, std::string>> RunStringConcat(FlintContext* ctx) {
+  // String concatenation: associative, visibly non-commutative. The fold
+  // order (map partition, row index) must survive fusion and the merge.
+  auto mapped = Parallelize(ctx, SkewedPairs(2000, 23), 4)
+                    .Map([](const std::pair<int, int>& kv) {
+                      return std::make_pair(kv.first, std::to_string(kv.second));
+                    });
+  auto out = ReduceByKey(mapped, 3,
+                         [](const std::string& a, const std::string& b) {
+                           return a + "," + b;
+                         })
+                 .Collect();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::vector<std::pair<int, std::string>>{};
+}
+
+std::vector<std::pair<int, std::vector<int>>> RunGroupByKey(FlintContext* ctx) {
+  auto mapped = Parallelize(ctx, SkewedPairs(4000, 29), 6)
+                    .Map([](const std::pair<int, int>& kv) {
+                      return std::make_pair(kv.first, kv.second ^ 5);
+                    });
+  auto out = GroupByKey(mapped, 4).Collect();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::vector<std::pair<int, std::vector<int>>>{};
+}
+
+std::vector<std::pair<int, std::pair<int, int>>> RunJoin(FlintContext* ctx) {
+  // Duplicate keys on both sides so the per-key cross product's row order is
+  // exercised, with narrow Maps above both shuffles.
+  auto left = Parallelize(ctx, SkewedPairs(1500, 19), 4)
+                  .Map([](const std::pair<int, int>& kv) {
+                    return std::make_pair(kv.first, kv.second + 100000);
+                  });
+  auto right = Parallelize(ctx, SkewedPairs(900, 19), 3)
+                   .Map([](const std::pair<int, int>& kv) {
+                     return std::make_pair(kv.first, -kv.second);
+                   });
+  auto out = Join(left, right, 3).Collect();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::vector<std::pair<int, std::pair<int, int>>>{};
+}
+
+TEST(ShufflePathTest, ReduceByKeyFusedMatchesUnfused) {
+  std::vector<std::pair<int, int>> fused, unfused;
+  {
+    EngineHarness h{Opts(/*shuffle_fusion=*/true, /*merge_reduce=*/true)};
+    fused = RunReduceByKey(&h.ctx(), 4);
+    EXPECT_GT(h.ctx().counters().shuffle_fused_bucket_chains.load(), 0u);
+    EXPECT_GT(h.ctx().counters().shuffle_rows_bucketed_fused.load(), 0u);
+    EXPECT_EQ(h.ctx().counters().shuffle_rows_bucketed_unfused.load(), 0u);
+    EXPECT_GT(h.ctx().counters().shuffle_combine_hits.load(), 0u);
+  }
+  {
+    EngineHarness h{Opts(/*shuffle_fusion=*/false, /*merge_reduce=*/true)};
+    unfused = RunReduceByKey(&h.ctx(), 4);
+    EXPECT_EQ(h.ctx().counters().shuffle_fused_bucket_chains.load(), 0u);
+    EXPECT_GT(h.ctx().counters().shuffle_rows_bucketed_unfused.load(), 0u);
+  }
+  ASSERT_FALSE(fused.empty());
+  EXPECT_EQ(fused, unfused);
+}
+
+TEST(ShufflePathTest, MergeReduceMatchesHashRebuild) {
+  std::vector<std::pair<int, int>> merged, hashed;
+  {
+    EngineHarness h{Opts(true, /*merge_reduce=*/true)};
+    merged = RunReduceByKey(&h.ctx(), 4);
+    EXPECT_GT(h.ctx().counters().shuffle_merge_reduces.load(), 0u);
+    EXPECT_EQ(h.ctx().counters().shuffle_hash_reduces.load(), 0u);
+  }
+  {
+    EngineHarness h{Opts(true, /*merge_reduce=*/false)};
+    hashed = RunReduceByKey(&h.ctx(), 4);
+    EXPECT_EQ(h.ctx().counters().shuffle_merge_reduces.load(), 0u);
+    EXPECT_GT(h.ctx().counters().shuffle_hash_reduces.load(), 0u);
+  }
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged, hashed);
+}
+
+TEST(ShufflePathTest, NonCommutativeCombineIdenticalOnAllPaths) {
+  std::vector<std::pair<int, std::string>> reference;
+  {
+    EngineHarness h{Opts(true, true)};
+    reference = RunStringConcat(&h.ctx());
+    ASSERT_FALSE(reference.empty());
+  }
+  for (bool fusion : {true, false}) {
+    for (bool merge : {true, false}) {
+      EngineHarness h{Opts(fusion, merge)};
+      EXPECT_EQ(RunStringConcat(&h.ctx()), reference)
+          << "fusion=" << fusion << " merge=" << merge;
+    }
+  }
+}
+
+TEST(ShufflePathTest, GroupByKeyIdenticalOnAllPaths) {
+  std::vector<std::pair<int, std::vector<int>>> reference;
+  {
+    EngineHarness h{Opts(true, true)};
+    reference = RunGroupByKey(&h.ctx());
+    ASSERT_FALSE(reference.empty());
+  }
+  for (bool fusion : {true, false}) {
+    for (bool merge : {true, false}) {
+      EngineHarness h{Opts(fusion, merge)};
+      EXPECT_EQ(RunGroupByKey(&h.ctx()), reference)
+          << "fusion=" << fusion << " merge=" << merge;
+    }
+  }
+}
+
+TEST(ShufflePathTest, JoinIdenticalOnAllPaths) {
+  std::vector<std::pair<int, std::pair<int, int>>> reference;
+  {
+    EngineHarness h{Opts(true, true)};
+    reference = RunJoin(&h.ctx());
+    ASSERT_FALSE(reference.empty());
+  }
+  for (bool fusion : {true, false}) {
+    for (bool merge : {true, false}) {
+      EngineHarness h{Opts(fusion, merge)};
+      EXPECT_EQ(RunJoin(&h.ctx()), reference)
+          << "fusion=" << fusion << " merge=" << merge;
+    }
+  }
+}
+
+// The reduce output read key-sorted must not depend on how many reduce
+// partitions the shuffle used (the per-key fold order is partition-count
+// invariant: map-side row order, then bucket-index order).
+TEST(ShufflePathTest, ReduceByKeyDeterministicAcrossNumReduce) {
+  auto sorted = [](std::vector<std::pair<int, int>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  std::vector<std::pair<int, int>> reference;
+  {
+    EngineHarness h;
+    reference = sorted(RunReduceByKey(&h.ctx(), 1));
+    ASSERT_FALSE(reference.empty());
+  }
+  for (int num_reduce : {2, 3, 7}) {
+    EngineHarness h;
+    EXPECT_EQ(sorted(RunReduceByKey(&h.ctx(), num_reduce)), reference)
+        << "num_reduce=" << num_reduce;
+  }
+}
+
+// A whole-cluster hard revocation mid-stage forces the fused bucket chains
+// to recompute from source on replacement nodes; the result must match an
+// untouched cluster's byte for byte.
+TEST(ShufflePathTest, FusedBucketChainSurvivesRevokeAllStorm) {
+  std::vector<std::pair<int, std::string>> reference;
+  {
+    EngineHarness clean;
+    reference = RunStringConcat(&clean.ctx());
+    ASSERT_FALSE(reference.empty());
+    ASSERT_GT(clean.ctx().counters().shuffle_fused_bucket_chains.load(), 0u);
+  }
+
+  EngineHarness h;
+  FaultPlan plan;
+  plan.events.push_back(RevokeAllAt(EnginePoint::kShuffleMapTaskRun, /*after_hits=*/0,
+                                    /*with_warning=*/false, /*replacements=*/4,
+                                    /*delay_seconds=*/0.05));
+  FaultInjector injector(&h.cluster(), plan);
+  h.ctx().SetProbe(&injector);
+  auto out = RunStringConcat(&h.ctx());
+  h.ctx().SetProbe(nullptr);
+  injector.Drain();
+  h.ctx().DrainExecutors();
+
+  EXPECT_EQ(out, reference);
+  EXPECT_TRUE(injector.AllEventsFired());
+  EXPECT_GT(h.ctx().counters().shuffle_fused_bucket_chains.load(), 0u);
+}
+
+}  // namespace
+}  // namespace flint

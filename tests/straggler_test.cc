@@ -375,5 +375,58 @@ TEST_F(StragglerTest, FusedChainBitIdenticalUnderSpeculation) {
   EXPECT_GT(h.ctx().counters().fused_chains.load(), 0u);
 }
 
+// Cross-stage quantile carry-over (SpeculationConfig::seed_from_previous_
+// stage): a stage with fewer tasks than the quorum can never arm deadlines
+// from its own samples, so it arms from the previous stage's carried P50.
+// The counter proves the seeded arming happened; the off-switch control
+// proves it is attributable to the carry-over.
+TEST_F(StragglerTest, CarriedQuantileArmsSubQuorumStage) {
+  {
+    SpeculationConfig spec = FastSpec(true);  // quorum = 3
+    EngineHarness h{EngineHarnessOptions{.speculation = spec}};
+    // First job: 12 tasks >= quorum populate the carried distribution. No
+    // carried state exists yet, so nothing is seeded.
+    ASSERT_EQ(SleepyCollect(&h.ctx(), 12, /*task_ms=*/5).size(), 12u);
+    EXPECT_EQ(h.ctx().counters().stage_quantile_seeded.load(), 0u);
+    // Second job: 2 tasks < quorum — deadlines arm from the carried P50.
+    ASSERT_EQ(SleepyCollect(&h.ctx(), 2, /*task_ms=*/5).size(), 2u);
+    EXPECT_GE(h.ctx().counters().stage_quantile_seeded.load(), 1u);
+  }
+  {
+    SpeculationConfig spec = FastSpec(true);
+    spec.seed_from_previous_stage = false;
+    EngineHarness h{EngineHarnessOptions{.speculation = spec}};
+    ASSERT_EQ(SleepyCollect(&h.ctx(), 12, /*task_ms=*/5).size(), 12u);
+    ASSERT_EQ(SleepyCollect(&h.ctx(), 2, /*task_ms=*/5).size(), 2u);
+    EXPECT_EQ(h.ctx().counters().stage_quantile_seeded.load(), 0u);
+  }
+}
+
+// The behavioural half: a hang on a 2-task stage (sub-quorum) is only
+// rescuable because the carried estimate armed the deadline — the live
+// quantile can never reach quorum with one of two tasks wedged. Pre-fix
+// this scenario sat until the stage watchdog killed the job.
+TEST_F(StragglerTest, CarriedQuantileRescuesHangOnSubQuorumStage) {
+  EngineHarness h{EngineHarnessOptions{.speculation = FastSpec(true)}};
+  // Establish the carried distribution before any fault is scripted.
+  ASSERT_EQ(SleepyCollect(&h.ctx(), 12, /*task_ms=*/10).size(), 12u);
+
+  FaultPlan plan;
+  plan.events.push_back(
+      HangTaskAt(EnginePoint::kTaskRun, /*after_hits=*/0, /*node_ordinal=*/-1, /*count=*/1));
+  FaultInjector injector(&h.cluster(), plan);
+  ProbeGuard guard(&h.ctx(), &injector);
+
+  Status status;
+  std::vector<int> out = SleepyCollect(&h.ctx(), 2, /*task_ms=*/10, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out, (std::vector<int>{1, 4}));
+  EXPECT_EQ(injector.GetStats().tasks_hung_injected, 1u);
+  EXPECT_GE(h.ctx().counters().stage_quantile_seeded.load(), 1u);
+  EXPECT_GE(h.ctx().counters().tasks_speculated.load(), 1u);
+  EXPECT_GE(h.ctx().counters().speculative_wins.load(), 1u);
+  EXPECT_GE(h.ctx().counters().tasks_cancelled.load(), 1u);
+}
+
 }  // namespace
 }  // namespace flint
