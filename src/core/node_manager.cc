@@ -10,6 +10,36 @@
 
 namespace flint {
 
+NodeHealthLedger& NodeHealthLedger::Global() {
+  static NodeHealthLedger* ledger = new NodeHealthLedger();
+  return *ledger;
+}
+
+void NodeHealthLedger::Record(NodeId node, const NodeHealth& health) {
+  MutexLock lock(&mutex_);
+  health_[node] = health;
+}
+
+bool NodeHealthLedger::Lookup(NodeId node, NodeHealth* out) const {
+  ReaderMutexLock lock(&mutex_);
+  auto it = health_.find(node);
+  if (it == health_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void NodeHealthLedger::Forget(NodeId node) {
+  MutexLock lock(&mutex_);
+  health_.erase(node);
+}
+
+void NodeHealthLedger::Reset() {
+  MutexLock lock(&mutex_);
+  health_.clear();
+}
+
 NodeManager::NodeManager(FlintContext* ctx, Marketplace* marketplace, FaultToleranceManager* ft,
                          NodeManagerConfig config)
     : ctx_(ctx),
@@ -267,8 +297,14 @@ void NodeManager::OnNodeRevoked(const NodeInfo& node) {
     // Revocation without a warning (e.g. scripted hard kill): the warning
     // path never requested a replacement, so do it now.
     need_replacement = warned_.insert(node.node_id).second;
-    // A revoked node's health history is moot; its replacement starts fresh.
-    health_.erase(node.node_id);
+    // The node is gone but its record isn't: park the final health in the
+    // process-wide ledger so a re-acquired id inherits its history instead
+    // of starting back at a perfect score.
+    auto hit = health_.find(node.node_id);
+    if (hit != health_.end()) {
+      NodeHealthLedger::Global().Record(node.node_id, hit->second);
+      health_.erase(hit);
+    }
   }
   if (need_replacement) {
     ProvisionReplacement(node.market);
@@ -312,13 +348,58 @@ void NodeManager::OnTaskDeadlineMiss(NodeId node) {
   AddHealthSample(node, 0.0);
 }
 
+void NodeManager::OnLinkSample(NodeId node, double throughput_ratio, bool slow) {
+  if (!config_.health.enabled) {
+    return;
+  }
+  // A link-slow fetch indicts the producing node the same way a deadline
+  // miss does: its NIC, not its CPU, is the bottleneck, but scheduling onto
+  // it hurts just the same. Healthy samples fold in the observed ratio so a
+  // merely-degraded link drags the score proportionally.
+  const double sample = slow ? 0.0 : std::clamp(throughput_ratio, 0.0, 1.0);
+  // Charge the observed throughput against the node's market so selection
+  // sees the degradation: a market full of sick links prices itself out.
+  {
+    MarketId market = kOnDemandMarket;
+    bool known = false;
+    {
+      ReaderMutexLock lock(&mutex_);
+      auto it = leases_.find(node);
+      if (it != leases_.end()) {
+        market = it->second.lease.market;
+        known = true;
+      }
+    }
+    if (known) {
+      selector_.RecordObservedThroughput(market, std::clamp(throughput_ratio, 0.01, 1.0));
+    }
+  }
+  const bool was_quarantined = Quarantined(node);
+  AddHealthSample(node, sample);
+  if (slow && !was_quarantined && Quarantined(node)) {
+    Tracer::Global().RecordInstant("link_quarantine", "net",
+                                   {{"node", static_cast<double>(node)},
+                                    {"score", HealthScore(node)}});
+  }
+}
+
+NodeHealth& NodeManager::HealthLocked(NodeId node) {
+  auto [it, inserted] = health_.try_emplace(node);
+  if (inserted) {
+    // First touch in this manager's lifetime: inherit whatever a previous
+    // life (earlier manager, earlier lease of the same id) recorded.
+    NodeHealthLedger::Global().Lookup(node, &it->second);
+  }
+  return it->second;
+}
+
 void NodeManager::AddHealthSample(NodeId node, double sample) {
   const NodeHealthConfig& hc = config_.health;
   bool want_quarantine = false;
   double score = 1.0;
   {
     MutexLock lock(&mutex_);
-    NodeHealth& h = health_[node];
+    NodeHealth& h = HealthLocked(node);
     h.score = (1.0 - hc.ewma_alpha) * h.score + hc.ewma_alpha * sample;
     ++h.samples;
     score = h.score;
@@ -326,6 +407,7 @@ void NodeManager::AddHealthSample(NodeId node, double sample) {
       h.quarantined = true;  // tentative until the context accepts it
       want_quarantine = true;
     }
+    NodeHealthLedger::Global().Record(node, h);
   }
   // Publish every sample so PickNode's weighting tracks degradation long
   // before (and after) the quarantine threshold.
@@ -356,6 +438,7 @@ void NodeManager::ApplyQuarantine(NodeId node, double score) {
       it->second.quarantined = false;
       it->second.score = std::max(it->second.score, config_.health.quarantine_threshold);
       lifted = it->second.score;
+      NodeHealthLedger::Global().Record(node, it->second);
     }
   }
   ctx_->SetNodeHealthScore(node, lifted);
@@ -380,6 +463,7 @@ void NodeManager::DecayHealth(NodeId node) {
       h.samples = 0;
       recovered = true;
     }
+    NodeHealthLedger::Global().Record(node, h);
   }
   ctx_->SetNodeHealthScore(node, score);
   if (recovered) {
@@ -396,15 +480,29 @@ void NodeManager::DecayHealth(NodeId node) {
 }
 
 double NodeManager::HealthScore(NodeId node) const {
-  ReaderMutexLock lock(&mutex_);
-  auto it = health_.find(node);
-  return it == health_.end() ? 1.0 : it->second.score;
+  {
+    ReaderMutexLock lock(&mutex_);
+    auto it = health_.find(node);
+    if (it != health_.end()) {
+      return it->second.score;
+    }
+  }
+  // Not yet touched in this manager's lifetime: report the ledger's view so
+  // a re-acquired flaky node reads as suspect before its first new sample.
+  NodeHealth prior;
+  return NodeHealthLedger::Global().Lookup(node, &prior) ? prior.score : 1.0;
 }
 
 bool NodeManager::Quarantined(NodeId node) const {
-  ReaderMutexLock lock(&mutex_);
-  auto it = health_.find(node);
-  return it != health_.end() && it->second.quarantined;
+  {
+    ReaderMutexLock lock(&mutex_);
+    auto it = health_.find(node);
+    if (it != health_.end()) {
+      return it->second.quarantined;
+    }
+  }
+  NodeHealth prior;
+  return NodeHealthLedger::Global().Lookup(node, &prior) && prior.quarantined;
 }
 
 double NodeManager::TotalCost() const {

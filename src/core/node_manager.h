@@ -47,6 +47,35 @@ struct NodeHealthConfig {
   double decay_rate = 0.15;           // score += rate * (1 - score) per tick
 };
 
+// One node's EWMA health state (see NodeHealthConfig).
+struct NodeHealth {
+  double score = 1.0;
+  int samples = 0;
+  bool quarantined = false;
+};
+
+// Process-wide health ledger keyed by node id. Health history must outlive
+// any one NodeManager: a transient node whose link or CPU proved sick stays
+// suspect when a later manager (or a later job in the same process)
+// re-acquires the same node id, instead of starting back at a perfect score
+// and burning another min_samples' worth of slow tasks to rediscover it.
+class NodeHealthLedger {
+ public:
+  static NodeHealthLedger& Global();
+
+  // Records `node`'s current health (write-through from NodeManager).
+  void Record(NodeId node, const NodeHealth& health);
+  // Copies the recorded health for `node` into `out`; false if never seen.
+  bool Lookup(NodeId node, NodeHealth* out) const;
+  // Drops one node's history / all history (test isolation).
+  void Forget(NodeId node);
+  void Reset();
+
+ private:
+  mutable Mutex mutex_{"NodeHealthLedger::mutex_"};
+  std::unordered_map<NodeId, NodeHealth> health_ GUARDED_BY(mutex_);
+};
+
 struct NodeManagerConfig {
   int cluster_size = 10;
   uint64_t node_memory_bytes = 64 * kMiB;
@@ -105,6 +134,7 @@ class NodeManager : public EngineObserver {
   void OnNodeAdded(const NodeInfo& node) override;
   void OnTaskAttemptFinished(NodeId node, double seconds, bool success) override;
   void OnTaskDeadlineMiss(NodeId node) override;
+  void OnLinkSample(NodeId node, double throughput_ratio, bool slow) override;
 
  private:
   struct LeaseRecord {
@@ -112,12 +142,6 @@ class NodeManager : public EngineObserver {
     bool open = true;
     SimTime end = 0.0;
   };
-  struct NodeHealth {
-    double score = 1.0;
-    int samples = 0;
-    bool quarantined = false;
-  };
-
   // Picks markets for the initial cluster per the policy. Returns one entry
   // per node (round-robin across the mix for interactive).
   Result<std::vector<MarketId>> InitialMarkets();
@@ -133,6 +157,9 @@ class NodeManager : public EngineObserver {
   // Folds one health sample (1.0 = healthy, 0.0 = failure/miss) into the
   // node's EWMA and quarantines it when the score sinks below threshold.
   void AddHealthSample(NodeId node, double sample);
+  // This manager's view of `node`'s health, seeded from the process-wide
+  // ledger on first touch so prior-life history carries over.
+  NodeHealth& HealthLocked(NodeId node) REQUIRES(mutex_);
   // Actually excludes `node` from scheduling (outside mutex_: the context's
   // node lock orders after ours) and arms the recovery decay timer. Rolls
   // the mark back if the context refuses (last schedulable node).

@@ -92,6 +92,13 @@ FlintContext::FlintContext(ClusterManager* cluster, Dfs* dfs, EngineConfig confi
                     static_cast<double>(c.acquisition_wait_nanos.load()) * 1e-9);
         AppendGauge(out, "flint_engine_task_queue_wait_seconds",
                     static_cast<double>(c.task_queue_wait_nanos.load()) * 1e-9);
+        AppendCounter(out, "flint_net_fetches", c.net_fetches.load());
+        AppendCounter(out, "flint_net_fetch_bytes", c.net_fetch_bytes.load());
+        AppendCounter(out, "flint_net_fetches_slow", c.net_fetches_slow.load());
+        AppendCounter(out, "flint_net_fetch_retries", c.net_fetch_retries.load());
+        AppendCounter(out, "flint_net_fetch_recomputes", c.net_fetch_recomputes.load());
+        AppendGauge(out, "flint_net_fetch_wait_seconds",
+                    static_cast<double>(c.net_fetch_wait_nanos.load()) * 1e-9);
 
         // BlockManager cache traffic, aggregated over live + retired nodes
         // (a revoked node's history still happened).
@@ -429,6 +436,28 @@ void FlintContext::SetNodeHealthScore(NodeId id, double score) {
     node = it->second;
   }
   node->health_score.store(std::clamp(score, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+void FlintContext::SetNodeLinkBandwidth(NodeId id, double bytes_per_s) {
+  std::shared_ptr<NodeState> node = GetNodeState(id);
+  if (node == nullptr || bytes_per_s <= 0.0) {
+    return;
+  }
+  node->link_bandwidth_bytes_per_s.store(bytes_per_s, std::memory_order_relaxed);
+}
+
+void FlintContext::RecordLinkThroughput(NodeId id, double bytes_per_s) {
+  std::shared_ptr<NodeState> node = GetNodeState(id);
+  if (node == nullptr || bytes_per_s <= 0.0) {
+    return;
+  }
+  const double alpha = config_.link_ewma_alpha;
+  double prev = node->link_throughput_ewma.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev <= 0.0 ? bytes_per_s : (1.0 - alpha) * prev + alpha * bytes_per_s;
+  } while (!node->link_throughput_ewma.compare_exchange_weak(prev, next,
+                                                             std::memory_order_relaxed));
 }
 
 std::shared_ptr<NodeState> FlintContext::GetNodeState(NodeId id) const {
@@ -771,6 +800,12 @@ void FlintContext::NotifyTaskDeadlineMiss(NodeId node) {
   }
 }
 
+void FlintContext::NotifyLinkSample(NodeId node, double throughput_ratio, bool slow) {
+  for (EngineObserver* obs : ObserversSnapshot()) {
+    obs->OnLinkSample(node, throughput_ratio, slow);
+  }
+}
+
 void FlintContext::ChargeOriginRead(uint64_t bytes) const {
   if (!config_.model_latency || config_.origin_read_bandwidth_bytes_per_s <= 0.0) {
     return;
@@ -788,6 +823,10 @@ void FlintContext::OnNodeAdded(const NodeInfo& info) {
   bm.memory_budget_bytes = info.memory_budget_bytes;
   node->blocks = std::make_unique<BlockManager>(bm);
   node->pool = std::make_unique<ThreadPool>(static_cast<size_t>(info.executor_threads));
+  if (config_.default_link_bandwidth_bytes_per_s > 0.0) {
+    node->link_bandwidth_bytes_per_s.store(config_.default_link_bandwidth_bytes_per_s,
+                                           std::memory_order_relaxed);
+  }
   {
     MutexLock lock(&nodes_mutex_);
     nodes_[info.node_id] = std::move(node);

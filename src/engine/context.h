@@ -94,6 +94,26 @@ struct EngineConfig {
   // degraded-mode trigger) or falls the restore back to lineage.
   DfsRetryPolicy checkpoint_retry;
   SpeculationConfig speculation;
+  // --- network plane (DESIGN.md "Network plane") ---
+  // Default per-node NIC capacity. Every NodeState starts here; tests model
+  // heterogeneous fleets via FlintContext::SetNodeLinkBandwidth. Shuffle
+  // pulls charge bytes / (capacity / slow_factor) against the PRODUCING
+  // node's link when model_latency is on, so a congested NIC inflates
+  // reduce-side service times the same way slow compute does.
+  double default_link_bandwidth_bytes_per_s = 512.0 * kMiB;
+  // EWMA weight for a node's observed fetch throughput (link_throughput_ewma).
+  double link_ewma_alpha = 0.3;
+  // Per-fetch timeout = max(fetch_timeout_min_seconds,
+  // fetch_timeout_multiplier x current stage P95 service time). No stage
+  // quantile yet (or multiplier <= 0) means no timeout. A pull past the
+  // timeout is abandoned mid-transfer, classified link-slow (feeding the
+  // producer's health EWMA), and retried with exponential backoff; an
+  // exhausted retry budget drops the producer's outputs and falls back to
+  // lineage recomputation on a healthy node.
+  double fetch_timeout_multiplier = 4.0;
+  double fetch_timeout_min_seconds = 0.05;
+  int fetch_retry_limit = 2;                  // retries after the first timed-out pull
+  double fetch_retry_backoff_seconds = 0.01;  // doubles per retry
 };
 
 // Monotonic counters for experiment reporting. All fields are cumulative
@@ -141,6 +161,14 @@ struct EngineCounters {
   // Executor-queue wait: execution-start stamp minus submission, summed over
   // attempts whose stamp was seen. Deadline clocks exclude this slack.
   std::atomic<int64_t> task_queue_wait_nanos{0};
+  // Network-plane accounting (the hardened shuffle-fetch path, see
+  // TaskContext::FetchShuffle):
+  std::atomic<uint64_t> net_fetches{0};           // per-producer pulls charged
+  std::atomic<uint64_t> net_fetch_bytes{0};       // bytes pulled over node links
+  std::atomic<uint64_t> net_fetches_slow{0};      // pulls that blew the fetch timeout
+  std::atomic<uint64_t> net_fetch_retries{0};     // timed-out pulls retried with backoff
+  std::atomic<uint64_t> net_fetch_recomputes{0};  // fetches that fell back to recompute
+  std::atomic<int64_t> net_fetch_wait_nanos{0};   // modelled transfer time charged
 };
 
 // Engine-side state of one node. Retired (revoked) nodes are kept until
@@ -169,6 +197,15 @@ struct NodeState {
   // Round-robin dispatches routed here by PickNode (locality picks not
   // included). Exposed for placement tests and telemetry.
   std::atomic<uint64_t> tasks_picked{0};
+  // --- network plane ---
+  // Modelled NIC capacity (bytes/s). Initialized from
+  // EngineConfig::default_link_bandwidth_bytes_per_s; tests override per
+  // node via SetNodeLinkBandwidth to model heterogeneous fleets.
+  std::atomic<double> link_bandwidth_bytes_per_s{512.0 * 1024.0 * 1024.0};
+  // EWMA of observed fetch throughput over this node's link (bytes/s); 0
+  // until the first pull completes. Folded by reduce-side tasks with a CAS
+  // loop, read by telemetry and market costing.
+  std::atomic<double> link_throughput_ewma{0.0};
 };
 
 class FlintContext : public ClusterListener {
@@ -240,6 +277,12 @@ class FlintContext : public ClusterListener {
   // onto its NodeState so placement can weight by it. Unknown ids are
   // ignored (the node raced a revocation).
   void SetNodeHealthScore(NodeId id, double score);
+  // Overrides `id`'s modelled NIC capacity (bytes/s). Unknown ids are
+  // ignored. Tests use this to model heterogeneous fleets.
+  void SetNodeLinkBandwidth(NodeId id, double bytes_per_s);
+  // Folds one observed fetch throughput sample (bytes/s) into `node`'s
+  // link_throughput_ewma with EngineConfig::link_ewma_alpha.
+  void RecordLinkThroughput(NodeId node, double bytes_per_s);
   // Blocks until at least one live node accepts new tasks; accumulates
   // acquisition wait.
   void WaitForLiveNode();
@@ -294,6 +337,20 @@ class FlintContext : public ClusterListener {
   // Straggler telemetry fan-out to observers (node-health scorer).
   void NotifyTaskAttemptFinished(NodeId node, double seconds, bool success);
   void NotifyTaskDeadlineMiss(NodeId node);
+  // Link telemetry fan-out: a shuffle pull over `node`'s link was classified
+  // (ratio = observed bytes/s over modelled capacity, clamped to [0, 1];
+  // slow = the pull blew the fetch timeout). Feeds the health scorer.
+  void NotifyLinkSample(NodeId node, double throughput_ratio, bool slow);
+
+  // --- stage service-time quantiles (published by the stage loop) ---
+  // The running stage's live (or carried) P50/P95 service times in seconds;
+  // 0 until a stage first arms. Fetch timeouts derive from the P95.
+  void PublishStageQuantiles(double p50_seconds, double p95_seconds) {
+    stage_p50_seconds_.store(p50_seconds, std::memory_order_relaxed);
+    stage_p95_seconds_.store(p95_seconds, std::memory_order_relaxed);
+  }
+  double StageP50Seconds() const { return stage_p50_seconds_.load(std::memory_order_relaxed); }
+  double StageP95Seconds() const { return stage_p95_seconds_.load(std::memory_order_relaxed); }
 
   // --- fault-injection probe (src/inject/) ---
   // At most one probe; set before running jobs, clear with nullptr. The
@@ -311,6 +368,14 @@ class FlintContext : public ClusterListener {
       return probe->OnTaskRun(info);
     }
     return TaskFaultDirective{};
+  }
+  // Announces one producer pull of a shuffle fetch to the probe and returns
+  // its fault directive (benign when no probe is installed).
+  FetchFaultDirective FireFetchProbe(const ShuffleFetchInfo& info) {
+    if (EngineProbe* probe = probe_.load(std::memory_order_acquire)) {
+      return probe->OnShuffleFetch(info);
+    }
+    return FetchFaultDirective{};
   }
 
   // ClusterListener:
@@ -363,6 +428,12 @@ class FlintContext : public ClusterListener {
   std::unique_ptr<DagScheduler> scheduler_;
   std::atomic<int> round_robin_{0};
   std::atomic<EngineProbe*> probe_{nullptr};
+
+  // Running stage's service-time quantiles (seconds); see
+  // PublishStageQuantiles. Written by the scheduler thread, read by
+  // reduce-side tasks deriving fetch timeouts.
+  std::atomic<double> stage_p50_seconds_{0.0};
+  std::atomic<double> stage_p95_seconds_{0.0};
 
   // Checkpoint write tracking: in-flight path claims (prevents double
   // writes) and the per-RDD metadata of durably written partitions, consumed

@@ -262,6 +262,11 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
   const bool seed_available = spec_cfg.enabled && spec_cfg.seed_from_previous_stage &&
                               carried_count_ >= static_cast<size_t>(spec_cfg.quorum);
   bool seed_counted = false;
+  // The fetch-timeout quantiles mirror deadline arming: carried values stand
+  // in until the live estimate reaches quorum; with neither, timeouts stay
+  // disarmed (published 0) rather than trusting a stale stage's shape.
+  ctx_->PublishStageQuantiles(seed_available ? carried_p50_ : 0.0,
+                              seed_available ? carried_p95_ : 0.0);
 
   auto outcomes = std::make_shared<OutcomeQueue>();
 
@@ -547,6 +552,11 @@ Status DagScheduler::RunStageLoop(const StageLoopSpec& spec) {
         st.done = true;
         p50.Add(seconds);
         p95.Add(seconds);
+        // Once the in-stage estimate reaches quorum it also drives the
+        // shuffle-fetch timeout (TaskContext::FetchTimeoutSeconds).
+        if (spec_cfg.enabled && static_cast<int>(p50.count()) >= spec_cfg.quorum) {
+          ctx_->PublishStageQuantiles(p50.value(), p95.value());
+        }
         ctx_->NotifyTaskAttemptFinished(node_id, seconds, true);
         if (attempt.speculative) {
           counters.speculative_wins.fetch_add(1, std::memory_order_relaxed);

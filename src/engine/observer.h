@@ -23,8 +23,9 @@ enum class EnginePoint {
   kDfsPut,                    // storage: a Put is about to execute (via DfsFaultHook)
   kDfsGet,                    // storage: a Get is about to execute (via DfsFaultHook)
   kTaskRun,                   // executor: any task attempt started (via OnTaskRun)
+  kShuffleFetch,              // reduce side: about to pull one producer's bucket
 };
-inline constexpr size_t kEnginePointCount = 8;
+inline constexpr size_t kEnginePointCount = 9;
 
 // Identity of one task attempt, handed to the probe as it starts executing.
 struct TaskRunInfo {
@@ -47,6 +48,24 @@ struct TaskFaultDirective {
   Status fail;               // when non-OK, fail the attempt with this status
 };
 
+// Identity of one shuffle-fetch pull: `node` is the consuming (reduce-side)
+// node, `producer` the node whose map output is being pulled over its link.
+struct ShuffleFetchInfo {
+  NodeId node = -1;      // consumer running the reduce-side task
+  NodeId producer = -1;  // node whose link the transfer is charged against
+  int shuffle_id = -1;
+  int reduce_part = -1;
+  uint64_t bytes = 0;    // transfer size for this producer's bucket
+};
+
+// What the probe wants done to the fetch that is about to run. A slow link
+// divides the producing node's modelled bandwidth, and a failure aborts the
+// pull with the given status (forcing the retry/recompute fallback path).
+struct FetchFaultDirective {
+  double slow_factor = 1.0;  // divide the producer's link bandwidth (>= 1)
+  Status fail;               // when non-OK, fail this pull with this status
+};
+
 // Implemented by the fault injector. May be called concurrently from the
 // scheduler, executor, and checkpoint threads; must be thread-safe and must
 // not call back into the engine context (cluster-level operations are fine).
@@ -59,6 +78,12 @@ class EngineProbe {
   virtual TaskFaultDirective OnTaskRun(const TaskRunInfo& info) {
     (void)info;
     return TaskFaultDirective{};
+  }
+  // Called as a reduce-side task pulls one producer's bucket; counts as a
+  // kShuffleFetch arrival for plan triggers. The default directive is benign.
+  virtual FetchFaultDirective OnShuffleFetch(const ShuffleFetchInfo& info) {
+    (void)info;
+    return FetchFaultDirective{};
   }
 };
 
@@ -109,6 +134,15 @@ class EngineObserver {
   // An attempt on `node` blew through its speculation deadline (the scheduler
   // launched, or tried to launch, a duplicate elsewhere).
   virtual void OnTaskDeadlineMiss(NodeId node) { (void)node; }
+  // A shuffle pull over `node`'s link was classified. `throughput_ratio` is
+  // observed bytes/s over the node's modelled capacity (clamped to [0,1]);
+  // `slow` marks pulls that blew the fetch timeout. Feeds the same health
+  // EWMA as compute samples so a network-sick node quarantines too.
+  virtual void OnLinkSample(NodeId node, double throughput_ratio, bool slow) {
+    (void)node;
+    (void)throughput_ratio;
+    (void)slow;
+  }
 
  protected:
   EngineObserver() = default;

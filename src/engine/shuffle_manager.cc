@@ -88,6 +88,20 @@ bool ShuffleManager::IsComplete(int shuffle_id) const {
 }
 
 Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int reduce_part) const {
+  auto detailed = FetchDetailed(shuffle_id, reduce_part);
+  if (!detailed.ok()) {
+    return detailed.status();
+  }
+  std::vector<PartitionPtr> buckets;
+  buckets.reserve(detailed->size());
+  for (auto& fb : *detailed) {
+    buckets.push_back(std::move(fb.bucket));
+  }
+  return buckets;
+}
+
+Result<std::vector<ShuffleManager::FetchedBucket>> ShuffleManager::FetchDetailed(
+    int shuffle_id, int reduce_part) const {
   ReaderMutexLock lock(&mutex_);
   auto it = shuffles_.find(shuffle_id);
   if (it == shuffles_.end()) {
@@ -96,7 +110,7 @@ Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int redu
   }
   // A registered 0-map shuffle is complete by definition; Fetch returns an
   // empty bucket list rather than an error.
-  std::vector<PartitionPtr> buckets;
+  std::vector<FetchedBucket> buckets;
   buckets.reserve(it->second.outputs.size());
   for (const auto& out : it->second.outputs) {
     if (!out.present) {
@@ -106,9 +120,26 @@ Result<std::vector<PartitionPtr>> ShuffleManager::Fetch(int shuffle_id, int redu
     if (reduce_part < 0 || static_cast<size_t>(reduce_part) >= out.buckets.size()) {
       return Internal("bad reduce partition " + std::to_string(reduce_part));
     }
-    buckets.push_back(out.buckets[static_cast<size_t>(reduce_part)]);
+    buckets.push_back(FetchedBucket{out.node, out.buckets[static_cast<size_t>(reduce_part)]});
   }
   return buckets;
+}
+
+size_t ShuffleManager::DropNodeOutputs(int shuffle_id, NodeId node) {
+  MutexLock lock(&mutex_);
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end()) {
+    return 0;
+  }
+  size_t dropped = 0;
+  for (auto& out : it->second.outputs) {
+    if (out.present && out.node == node) {
+      out.present = false;
+      out.buckets.clear();
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 void ShuffleManager::OnNodeRevoked(NodeId node) {

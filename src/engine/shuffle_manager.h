@@ -40,6 +40,22 @@ class ShuffleManager {
   // bucket list (complete by definition).
   Result<std::vector<PartitionPtr>> Fetch(int shuffle_id, int reduce_part) const;
 
+  // One producer's contribution to a reduce partition: the bucket plus the
+  // node whose link the transfer is charged against.
+  struct FetchedBucket {
+    NodeId node = -1;
+    PartitionPtr bucket;
+  };
+  // Like Fetch, but keeps each bucket paired with its producing node so the
+  // consumer can charge transfer time per link (TaskContext::FetchShuffle).
+  Result<std::vector<FetchedBucket>> FetchDetailed(int shuffle_id, int reduce_part) const;
+
+  // Drops every output of `shuffle_id` stored on `node`, as if the node's
+  // local shuffle storage vanished. The fetch path uses this to force the
+  // scheduler's recompute fallback when a producer's link is persistently
+  // too slow to serve its buckets. Returns the number of outputs dropped.
+  size_t DropNodeOutputs(int shuffle_id, NodeId node);
+
   // Fetch calls that failed because outputs were missing (the consumer has
   // to wait for a re-run); exported as flint_shuffle_fetch_waits.
   uint64_t FetchWaits() const { return fetch_waits_.load(std::memory_order_relaxed); }

@@ -1,10 +1,14 @@
 #include "src/engine/task_context.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "src/common/log.h"
 #include "src/engine/fusion.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 // flint-lint: allow-file(det-wallclock) compute timing feeds metrics and the health scorer, never partition contents
 
@@ -200,15 +204,190 @@ Result<std::vector<PartitionPtr>> TaskContext::ComputeShuffleBuckets(const RddPt
   return terminal.finish();
 }
 
+namespace {
+
+Histogram* FetchSecondsHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "flint_net_fetch_seconds", Histogram::DefaultLatencyBounds());
+  return h;
+}
+
+}  // namespace
+
+double TaskContext::FetchTimeoutSeconds() const {
+  const EngineConfig& cfg = ctx_->config();
+  if (cfg.fetch_timeout_multiplier <= 0.0) {
+    return 0.0;
+  }
+  const double p95 = ctx_->StageP95Seconds();
+  if (p95 <= 0.0) {
+    return 0.0;  // no stage quantile armed yet; nothing sane to derive from
+  }
+  return std::max(cfg.fetch_timeout_min_seconds, cfg.fetch_timeout_multiplier * p95);
+}
+
+Status TaskContext::ChargeLinkTransfer(NodeId producer, uint64_t bytes, double slow_factor,
+                                       double timeout_seconds, int shuffle_id, int reduce_part) {
+  const EngineConfig& cfg = ctx_->config();
+  EngineCounters& counters = ctx_->counters();
+  std::shared_ptr<NodeState> producer_state = ctx_->GetNodeState(producer);
+  double capacity = producer_state != nullptr
+                        ? producer_state->link_bandwidth_bytes_per_s.load(std::memory_order_relaxed)
+                        : cfg.default_link_bandwidth_bytes_per_s;
+  if (capacity <= 0.0) {
+    capacity = cfg.default_link_bandwidth_bytes_per_s;
+  }
+  const double factor = std::max(1.0, slow_factor);
+  const double effective = capacity > 0.0 ? capacity / factor : 0.0;
+  counters.net_fetches.fetch_add(1, std::memory_order_relaxed);
+  counters.net_fetch_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  // The throughput this pull observes over the producer's link; folded into
+  // the link EWMA whether or not the wait itself is modelled, so market
+  // costing sees degraded links even in fast test runs.
+  if (effective > 0.0) {
+    ctx_->RecordLinkThroughput(producer, effective);
+  }
+  const double transfer_s =
+      (cfg.model_latency && effective > 0.0) ? static_cast<double>(bytes) / effective : 0.0;
+  const bool timed_out = timeout_seconds > 0.0 && transfer_s > timeout_seconds;
+  // A timed-out pull still waits out the timeout (the consumer cannot know
+  // the transfer is doomed until the deadline passes), then abandons it.
+  const double wait_s = timed_out ? timeout_seconds : transfer_s;
+  if (wait_s > 0.0) {
+    const auto t0 = WallClock::now();
+    while (true) {
+      if (Cancelled()) {
+        return Unavailable("cancelled during shuffle fetch");
+      }
+      const double elapsed = WallDuration(WallClock::now() - t0).count();
+      if (elapsed >= wait_s) {
+        break;
+      }
+      std::this_thread::sleep_for(WallDuration(std::min(0.001, wait_s - elapsed)));
+    }
+    counters.net_fetch_wait_nanos.fetch_add(static_cast<int64_t>(wait_s * 1e9),
+                                            std::memory_order_relaxed);
+  }
+  FetchSecondsHistogram()->Observe(wait_s);
+  const double ratio = capacity > 0.0 ? std::clamp(effective / capacity, 0.0, 1.0) : 0.0;
+  if (!timed_out) {
+    // Degraded but within budget: report the observed ratio as a healthy
+    // sample so health scoring and market costing see the slow link even in
+    // runs with timeouts disarmed. Full-speed pulls stay silent — flooding
+    // observers with ratio-1.0 samples would just dilute real signal.
+    if (ratio < 0.999) {
+      ctx_->NotifyLinkSample(producer, ratio, /*slow=*/false);
+    }
+    return Status::Ok();
+  }
+  // Classified link-slow: this producer's NIC, not its CPU, is the problem.
+  // Feed the health scorer so a network-sick node quarantines too.
+  counters.net_fetches_slow.fetch_add(1, std::memory_order_relaxed);
+  Tracer::Global().RecordInstant("shuffle_fetch_slow", "net",
+                                 {{"producer", static_cast<double>(producer)},
+                                  {"consumer", static_cast<double>(node_id())},
+                                  {"shuffle", static_cast<double>(shuffle_id)},
+                                  {"reduce_part", static_cast<double>(reduce_part)},
+                                  {"bytes", static_cast<double>(bytes)},
+                                  {"timeout_s", timeout_seconds},
+                                  {"transfer_s", transfer_s}});
+  ctx_->NotifyLinkSample(producer, ratio, /*slow=*/true);
+  return DeadlineExceeded("shuffle " + std::to_string(shuffle_id) + " fetch from node " +
+                          std::to_string(producer) + " blew the " +
+                          std::to_string(timeout_seconds) + "s fetch timeout");
+}
+
 Result<std::vector<PartitionPtr>> TaskContext::FetchShuffle(int shuffle_id, int reduce_part) {
   if (Cancelled()) {
     return Unavailable("node revoked");
   }
-  auto fetched = ctx_->shuffles().Fetch(shuffle_id, reduce_part);
-  if (!fetched.ok() && fetched.status().code() == StatusCode::kDataLoss) {
-    failed_shuffle_ = shuffle_id;
+  const EngineConfig& cfg = ctx_->config();
+  EngineCounters& counters = ctx_->counters();
+  const int max_tries = 1 + std::max(0, cfg.fetch_retry_limit);
+  NodeId slow_producer = -1;
+  Status last_timeout;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before the retry: the slow-link window may lapse,
+      // or a recovery round may land the outputs somewhere healthier.
+      counters.net_fetch_retries.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().RecordInstant("fetch_retry", "net",
+                                     {{"shuffle", static_cast<double>(shuffle_id)},
+                                      {"reduce_part", static_cast<double>(reduce_part)},
+                                      {"attempt", static_cast<double>(attempt)},
+                                      {"producer", static_cast<double>(slow_producer)}});
+      const double backoff =
+          cfg.fetch_retry_backoff_seconds * static_cast<double>(1 << std::min(attempt - 1, 10));
+      const auto t0 = WallClock::now();
+      while (backoff > 0.0) {
+        if (Cancelled()) {
+          return Unavailable("cancelled during fetch backoff");
+        }
+        const double elapsed = WallDuration(WallClock::now() - t0).count();
+        if (elapsed >= backoff) {
+          break;
+        }
+        std::this_thread::sleep_for(WallDuration(std::min(0.001, backoff - elapsed)));
+      }
+    }
+    auto fetched = ctx_->shuffles().FetchDetailed(shuffle_id, reduce_part);
+    if (!fetched.ok()) {
+      if (fetched.status().code() == StatusCode::kDataLoss) {
+        failed_shuffle_ = shuffle_id;
+      }
+      return fetched.status();
+    }
+    const double timeout = FetchTimeoutSeconds();
+    Status pull = Status::Ok();
+    std::vector<PartitionPtr> buckets;
+    buckets.reserve(fetched->size());
+    for (auto& fb : *fetched) {
+      const uint64_t bytes = fb.bucket != nullptr ? fb.bucket->SizeBytes() : 0;
+      // Local buckets never cross the network; only remote pulls are charged
+      // against the producer's link (and visible to the fetch probe).
+      if (fb.node >= 0 && fb.node != node_id()) {
+        ShuffleFetchInfo finfo;
+        finfo.node = node_id();
+        finfo.producer = fb.node;
+        finfo.shuffle_id = shuffle_id;
+        finfo.reduce_part = reduce_part;
+        finfo.bytes = bytes;
+        const FetchFaultDirective directive = ctx_->FireFetchProbe(finfo);
+        if (!directive.fail.ok()) {
+          pull = directive.fail;
+          slow_producer = fb.node;
+          break;
+        }
+        pull = ChargeLinkTransfer(fb.node, bytes, directive.slow_factor, timeout, shuffle_id,
+                                  reduce_part);
+        if (!pull.ok()) {
+          slow_producer = fb.node;
+          break;
+        }
+      }
+      buckets.push_back(std::move(fb.bucket));
+    }
+    if (pull.ok()) {
+      return buckets;
+    }
+    if (pull.code() == StatusCode::kUnavailable) {
+      return pull;  // cancelled mid-transfer; this attempt is dead anyway
+    }
+    last_timeout = pull;
   }
-  return fetched;
+  // Retry budget exhausted against a persistently slow link: drop the slow
+  // producer's outputs so the scheduler's FetchFailed recovery recomputes
+  // them on a healthy node instead of refetching into the same black hole.
+  size_t dropped = 0;
+  if (slow_producer >= 0) {
+    dropped = ctx_->shuffles().DropNodeOutputs(shuffle_id, slow_producer);
+  }
+  counters.net_fetch_recomputes.fetch_add(1, std::memory_order_relaxed);
+  failed_shuffle_ = shuffle_id;
+  return DataLoss("shuffle " + std::to_string(shuffle_id) + " fetch from node " +
+                  std::to_string(slow_producer) + " gave up after " +
+                  std::to_string(max_tries) + " attempt(s); dropped " + std::to_string(dropped) +
+                  " output(s) for recompute: " + last_timeout.ToString());
 }
 
 }  // namespace flint

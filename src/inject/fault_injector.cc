@@ -149,6 +149,19 @@ void FaultInjector::Fire(const FaultEvent& event) {
       slow_nodes_.push_back(window);
       return;
     }
+    case FaultActionKind::kSlowLink: {
+      const NodeId victim = ResolveVictim(event.node_ordinal);
+      FLINT_ILOG() << "fault injection: node " << victim << " link " << event.slow_factor
+                   << "x slower for " << event.duration_seconds << "s";
+      NodeWindow window;
+      window.node = victim;
+      window.until = WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                            WallDuration(event.duration_seconds));
+      window.slow_factor = event.slow_factor;
+      MutexLock lock(&mutex_);
+      slow_links_.push_back(window);
+      return;
+    }
     case FaultActionKind::kHangTask: {
       const NodeId victim = ResolveVictim(event.node_ordinal);
       FLINT_ILOG() << "fault injection: hanging next " << event.count << " task attempt(s)"
@@ -239,6 +252,24 @@ TaskFaultDirective FaultInjector::OnTaskRun(const TaskRunInfo& info) {
   }
   if (directive.slow_factor != 1.0) {
     ++stats_.tasks_slowed;
+  }
+  return directive;
+}
+
+FetchFaultDirective FaultInjector::OnShuffleFetch(const ShuffleFetchInfo& info) {
+  // Probe first, as with OnTaskRun: an event armed at hit N must affect
+  // pull N itself.
+  AtPoint(EnginePoint::kShuffleFetch);
+  const WallTime now = WallClock::now();
+  FetchFaultDirective directive;
+  MutexLock lock(&mutex_);
+  for (const NodeWindow& slow : slow_links_) {
+    if (now < slow.until && (slow.node < 0 || slow.node == info.producer)) {
+      directive.slow_factor *= slow.slow_factor;
+    }
+  }
+  if (directive.slow_factor != 1.0) {
+    ++stats_.fetches_slowed;
   }
   return directive;
 }

@@ -61,6 +61,10 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
   // straggler faults against the attempt's node.
   TaskFaultDirective OnTaskRun(const TaskRunInfo& info) override;
 
+  // Counts the pull as a kShuffleFetch arrival, then evaluates armed
+  // kSlowLink windows against the producing node.
+  FetchFaultDirective OnShuffleFetch(const ShuffleFetchInfo& info) override;
+
   // DfsFaultHook. Counts the operation as a kDfsPut/kDfsGet arrival, then
   // evaluates armed storage faults against `path`.
   DfsFaultVerdict OnPut(const std::string& path) override;
@@ -80,6 +84,8 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
     uint64_t tasks_slowed = 0;
     uint64_t tasks_hung_injected = 0;
     uint64_t tasks_failed_injected = 0;
+    // Network faults enforced (kSlowLink pulls whose bandwidth was divided).
+    uint64_t fetches_slowed = 0;
   };
   Stats GetStats() const;
   int HitCount(EnginePoint point) const;
@@ -136,6 +142,9 @@ class FaultInjector : public EngineProbe, public DfsFaultHook {
   // Armed straggler faults; evaluated under mutex_ by OnTaskRun.
   std::vector<NodeWindow> slow_nodes_ GUARDED_BY(mutex_);
   std::vector<NodeWindow> flaky_nodes_ GUARDED_BY(mutex_);
+  // Armed network faults; evaluated under mutex_ by OnShuffleFetch against
+  // the producing node's link.
+  std::vector<NodeWindow> slow_links_ GUARDED_BY(mutex_);
   std::vector<HangBudget> hang_budgets_ GUARDED_BY(mutex_);
   Rng rng_ GUARDED_BY(mutex_);  // kFlakyNode coin flips, seeded by the plan
 

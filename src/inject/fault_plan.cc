@@ -84,6 +84,18 @@ FaultEvent SlowNodeAt(EnginePoint at, int after_hits, int node_ordinal, double s
   return event;
 }
 
+FaultEvent SlowLinkAt(EnginePoint at, int after_hits, int node_ordinal, double slow_factor,
+                      double duration_seconds) {
+  FaultEvent event;
+  event.at = at;
+  event.after_hits = after_hits;
+  event.action = FaultActionKind::kSlowLink;
+  event.node_ordinal = node_ordinal;
+  event.slow_factor = slow_factor;
+  event.duration_seconds = duration_seconds;
+  return event;
+}
+
 FaultEvent HangTaskAt(EnginePoint at, int after_hits, int node_ordinal, int count) {
   FaultEvent event;
   event.at = at;

@@ -47,6 +47,10 @@ enum class FaultActionKind {
                // anywhere when node_ordinal < 0) never complete until cancelled
   kFlakyNode,  // task attempts on the victim node fail with `probability`
                // for duration_seconds
+  // Network action (enforced at the kShuffleFetch probe via OnShuffleFetch):
+  // the victim's NIC degrades — every shuffle pull FROM that node divides the
+  // link bandwidth by slow_factor for duration_seconds. Compute is untouched.
+  kSlowLink,
 };
 
 struct FaultEvent {
@@ -124,6 +128,14 @@ FaultEvent DfsSlowAt(EnginePoint at, int after_hits, std::string prefix, double 
 // `slow_factor` times longer for `duration_seconds` (contended cores,
 // throttled I/O — the node is degraded, not dead).
 FaultEvent SlowNodeAt(EnginePoint at, int after_hits, int node_ordinal, double slow_factor,
+                      double duration_seconds);
+
+// Shuffle pulls from the node with the `node_ordinal`-th lowest live id run
+// over a link `slow_factor` times slower for `duration_seconds` (congested
+// NIC, oversubscribed rack uplink — the node computes fine, its network is
+// sick). Arm it at kShuffleFetch to trigger on the Nth pull, or at
+// kSchedulerRound to degrade the link before any fetch happens.
+FaultEvent SlowLinkAt(EnginePoint at, int after_hits, int node_ordinal, double slow_factor,
                       double duration_seconds);
 
 // The next `count` task attempts on the victim node (`node_ordinal` < 0: on

@@ -54,6 +54,25 @@ bool ServerSelector::Admissible(MarketId id, SimTime now) const {
   return marketplace_->market(id).Available(now, BidFor(id));
 }
 
+void ServerSelector::RecordObservedThroughput(MarketId id, double ratio) {
+  if (!std::isfinite(ratio) || ratio <= 0.0) {
+    return;
+  }
+  const double clamped = std::min(ratio, 1.0);
+  MutexLock lock(&link_mutex_);
+  auto [it, inserted] = link_ewma_.try_emplace(id, clamped);
+  if (!inserted) {
+    it->second =
+        (1.0 - config_.link_ewma_alpha) * it->second + config_.link_ewma_alpha * clamped;
+  }
+}
+
+double ServerSelector::ObservedThroughput(MarketId id) const {
+  ReaderMutexLock lock(&link_mutex_);
+  auto it = link_ewma_.find(id);
+  return it == link_ewma_.end() ? 1.0 : it->second;
+}
+
 MarketEvaluation ServerSelector::Evaluate(MarketId id, SimTime now, const JobProfile& job) const {
   MarketEvaluation ev;
   ev.id = id;
@@ -62,7 +81,11 @@ MarketEvaluation ServerSelector::Evaluate(MarketId id, SimTime now, const JobPro
   ev.mttf_hours = stats.mttf_hours;
   ev.avg_price = stats.avg_price;
   ev.expected_factor = ExpectedRuntimeFactor(job.delta_hours, job.rd_hours, ev.mttf_hours, 1);
-  ev.expected_unit_cost = ev.expected_factor * ev.avg_price;
+  ev.link_throughput = std::clamp(ObservedThroughput(id), 0.01, 1.0);
+  // A market observed delivering half its modelled bandwidth needs roughly
+  // twice the wall clock per unit of shuffle-bound work, so its effective
+  // unit cost doubles. Unobserved markets divide by 1 (no penalty).
+  ev.expected_unit_cost = ev.expected_factor * ev.avg_price / ev.link_throughput;
   return ev;
 }
 

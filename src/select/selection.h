@@ -20,11 +20,14 @@
 #ifndef SRC_SELECT_SELECTION_H_
 #define SRC_SELECT_SELECTION_H_
 
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/checkpoint/checkpoint_policy.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/market/marketplace.h"
 
@@ -48,6 +51,9 @@ struct SelectionConfig {
   size_t max_candidate_set = 10;
   double correlation_threshold = 0.4;
   int max_markets_in_mix = 8;
+  // Weight of the newest observed link-throughput sample in the per-market
+  // EWMA (RecordObservedThroughput).
+  double link_ewma_alpha = 0.3;
 };
 
 // Application profile the cost model needs, in model hours.
@@ -61,7 +67,8 @@ struct MarketEvaluation {
   double mttf_hours = 0.0;
   double avg_price = 0.0;
   double expected_factor = 1.0;    // E[T]/T from Eq. 1
-  double expected_unit_cost = 0.0; // factor * avg price   (Eq. 2 per unit T)
+  double expected_unit_cost = 0.0; // factor * avg price / link (Eq. 2 per unit T)
+  double link_throughput = 1.0;    // observed link EWMA folded into the cost
 };
 
 struct MixEvaluation {
@@ -79,6 +86,15 @@ class ServerSelector {
 
   const SelectionConfig& config() const { return config_; }
   double BidFor(MarketId id) const;
+
+  // Folds one observed link-throughput sample (observed bytes/s over the
+  // modelled capacity, clamped to (0, 1]) into `id`'s EWMA. The node manager
+  // reports these from link-classified fetch samples, so a market whose
+  // nodes keep serving shuffle data through sick NICs looks expensive to
+  // EvaluateMarkets even when its price and MTTF are pristine.
+  void RecordObservedThroughput(MarketId id, double ratio);
+  // Current link EWMA for `id`; 1.0 when no sample has been observed.
+  double ObservedThroughput(MarketId id) const;
 
   // Evaluates every spot market (excluding `exclude` and currently spiking /
   // unavailable ones) plus the on-demand pool, sorted by expected unit cost.
@@ -120,6 +136,10 @@ class ServerSelector {
 
   const Marketplace* marketplace_;
   SelectionConfig config_;
+  // Per-market observed link-throughput EWMA. Mutable state on an otherwise
+  // read-only evaluator; leaf lock (never held while calling out).
+  mutable Mutex link_mutex_{"ServerSelector::link_mutex_"};
+  std::unordered_map<MarketId, double> link_ewma_ GUARDED_BY(link_mutex_);
 };
 
 }  // namespace flint

@@ -68,6 +68,9 @@ class ProbeGuard {
 class StragglerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Node ids restart at 0 per harness, so the process-wide health ledger
+    // would otherwise leak scores from earlier tests into this one.
+    NodeHealthLedger::Global().Reset();
     was_enabled_ = SetMutexDebug(true);
     violations_before_ = GetLockOrderViolations().size();
   }

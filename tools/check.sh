@@ -288,6 +288,41 @@ run_obs_straggler() {
   fi
 }
 
+run_obs_slowlink() {
+  echo "== obs-slowlink: degraded-link run with the hardened fetch path =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "WARNING: python3 not found; skipping slow-link trace validation" >&2
+    record obs-slowlink "skipped (no python3)"
+    return
+  fi
+  local out="build/obs"
+  mkdir -p "${out}"
+  # One of eight nodes serves its shuffle buckets through a badly degraded
+  # link for the first seconds of the run: with the modelled NIC capacity
+  # constrained to 2 MiB/s, the victim's transfers blow the quantile-derived
+  # fetch timeout while healthy pulls stay milliseconds. A second node
+  # computes 8x slow over the same window so the speculation family is
+  # guaranteed alongside the link events (a degraded link alone does not
+  # always push a task past its deadline). The trace must show fetches
+  # classified link-slow and speculation engaging; quarantine / recompute
+  # fallback ride the same machinery (slow_link test suite).
+  if ! with_timeout ./build/tools/flintctl run --workload pagerank --nodes 8 \
+       --slow-link 0 --link-factor 256 --link-bandwidth 2 --fault-secs 3 \
+       --slow-node 1 --slow-factor 8 \
+       --spec-deadline 0.01 \
+       --trace-out "${out}/slowlink-trace.json" \
+       --metrics-out "${out}/slowlink-metrics.prom"; then
+    record obs-slowlink "FAIL (slow-link run)"
+    return
+  fi
+  if python3 tools/flint-report --validate "${out}/slowlink-trace.json" \
+       --require slow_link,speculation; then
+    record obs-slowlink pass
+  else
+    record obs-slowlink "FAIL (trace validation)"
+  fi
+}
+
 run_obs_overhead() {
   echo "== obs-bench: tracer overhead on the fused narrow chain =="
   if ! command -v python3 >/dev/null 2>&1; then
@@ -350,6 +385,7 @@ fi
 if [[ "${MODE}" == "--obs" ]]; then
   run_obs_storm
   run_obs_straggler
+  run_obs_slowlink
   run_obs_overhead
   summary
 fi
@@ -361,6 +397,7 @@ if [[ "${MODE}" == "--fast" ]]; then
   record lint "skipped (--fast)"
   record obs-trace "skipped (--fast)"
   record obs-straggler "skipped (--fast)"
+  record obs-slowlink "skipped (--fast)"
   record tsan "skipped (--fast)"
   record asan "skipped (--fast)"
   record ubsan "skipped (--fast)"
@@ -371,13 +408,16 @@ run_static
 run_lint
 run_obs_storm
 run_obs_straggler
+run_obs_slowlink
 
 # The TSan leg also runs the lock-order detector tests (Mutex*) and the storm
 # + straggler suites, whose fixtures assert the detector saw no cycle
 # (FLINT_SANITIZE builds define FLINT_MUTEX_DEBUG, so detection is on by
 # default). Straggler* exercises speculation races: deadline scans, token
 # cancellation, duplicate completions, and health-driven quarantine.
-run_sanitizer tsan thread build-tsan 'FaultInject*:Straggler*:DfsFault*:Mutex*:Obs*'
+# SlowLink*/ShuffleConc* hammer the hardened fetch path: concurrent
+# Fetch/RegisterShuffle/OnNodeRevoked plus retry/recompute under kSlowLink.
+run_sanitizer tsan thread build-tsan 'FaultInject*:Straggler*:SlowLink*:ShuffleConc*:DfsFault*:Mutex*:Obs*'
 run_sanitizer asan address build-asan 'FtManagerTest*:CheckpointPolicyMath*:DfsFault*:Mutex*'
 run_sanitizer ubsan undefined build-ubsan 'FaultInject*:DfsFault*:FtManagerTest*:CheckpointPolicyMath*:Mutex*'
 

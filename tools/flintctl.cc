@@ -187,6 +187,13 @@ int CmdRun(const Args& args) {
   // actually trip deadlines (tools/check.sh obs-straggler leg).
   options.engine.speculation.min_deadline_seconds =
       args.GetDouble("spec-deadline", options.engine.speculation.min_deadline_seconds);
+  // Modelled per-node NIC capacity in MiB/s. The default is fast enough that
+  // demo transfers are microseconds; constrain it so injected link faults
+  // (--slow-link) produce transfers long enough to trip the fetch timeout.
+  if (args.Given("link-bandwidth")) {
+    options.engine.default_link_bandwidth_bytes_per_s =
+        args.GetDouble("link-bandwidth", 512.0) * 1024.0 * 1024.0;
+  }
   // Every run prints its effective seed so any run — including one that used
   // the default — can be replayed exactly with --seed.
   std::printf("seed: %llu\n", static_cast<unsigned long long>(options.seed));
@@ -220,6 +227,14 @@ int CmdRun(const Args& args) {
         FlakyNodeAt(EnginePoint::kTaskRun, /*after_hits=*/0,
                     static_cast<int>(args.GetInt("flaky-node", 0)),
                     args.GetDouble("flaky-prob", 0.5), args.GetDouble("fault-secs", 30.0)));
+  }
+  if (args.Given("slow-link")) {
+    // Armed at the first scheduler round so the window covers the whole run:
+    // every fetch from the victim's link sees the degraded bandwidth.
+    straggler_plan.events.push_back(
+        SlowLinkAt(EnginePoint::kSchedulerRound, /*after_hits=*/0,
+                   static_cast<int>(args.GetInt("slow-link", 0)),
+                   args.GetDouble("link-factor", 4.0), args.GetDouble("fault-secs", 30.0)));
   }
   std::unique_ptr<FaultInjector> injector;
   if (!straggler_plan.events.empty()) {
@@ -299,10 +314,11 @@ int CmdRun(const Args& args) {
     cluster.ctx().SetProbe(nullptr);
     injector->Drain();
     const FaultInjector::Stats fs = injector->GetStats();
-    std::printf("injected: %llu slowed, %llu hung, %llu failed\n",
+    std::printf("injected: %llu slowed, %llu hung, %llu failed, %llu fetches slowed\n",
                 static_cast<unsigned long long>(fs.tasks_slowed),
                 static_cast<unsigned long long>(fs.tasks_hung_injected),
-                static_cast<unsigned long long>(fs.tasks_failed_injected));
+                static_cast<unsigned long long>(fs.tasks_failed_injected),
+                static_cast<unsigned long long>(fs.fetches_slowed));
   }
   if (chaos.joinable()) {
     chaos.join();
@@ -383,6 +399,7 @@ int Usage() {
                "           --slow-node ORD --slow-factor F --fault-secs S\n"
                "           --hang-tasks K --hang-node ORD\n"
                "           --flaky-node ORD --flaky-prob P\n"
+               "           --slow-link ORD --link-factor F --link-bandwidth MIBPS\n"
                "           --trace-out FILE --metrics-out FILE --trace-capacity N\n"
                "  trace    --out FILE --volatility calm|moderate|volatile|extreme\n"
                "           --days D --od PRICE --seed S\n");
